@@ -1,0 +1,44 @@
+"""Helpers shared by the per-figure benchmark modules."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.analysis.report import format_figure_table
+from repro.platforms import build_platform
+from repro.platforms.base import PlatformResult
+from repro.workloads.multiapp import MultiAppWorkload, build_mix
+
+
+def run_once(benchmark, fn: Callable, *args, **kwargs):
+    """Time a heavy reproduction exactly once (no warmup rounds)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def build_bench_mix(
+    read_app: str,
+    write_app: str,
+    scale: float,
+    warps_per_sm: int = 12,
+    memory_instructions_per_warp: int = 96,
+    seed: int = 1,
+) -> MultiAppWorkload:
+    return build_mix(
+        read_app,
+        write_app,
+        scale=scale,
+        seed=seed,
+        warps_per_sm=warps_per_sm,
+        memory_instructions_per_warp=memory_instructions_per_warp,
+    )
+
+
+def run_platforms_on_mix(
+    platform_names: Sequence[str], mix: MultiAppWorkload
+) -> Dict[str, PlatformResult]:
+    return {name: build_platform(name).run(mix.combined) for name in platform_names}
+
+
+def print_table(title: str, rows, value_format: str = "{:.3f}") -> None:
+    print()
+    print(format_figure_table(title, rows, value_format))

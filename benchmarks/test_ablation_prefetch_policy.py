@@ -1,0 +1,51 @@
+"""Ablation: read-prefetch policy (none / next-line / stride / dynamic).
+
+Shows that ZnG's adaptive dynamic prefetcher is competitive with or better than
+fixed policies, without their downside (next-line over-fetches, wasting L2).
+"""
+
+from dataclasses import replace
+
+from repro.config import default_config
+from repro.platforms.zng import ZnGPlatform, ZnGVariant
+from benchmarks.harness import build_bench_mix, run_once
+
+
+def _compare(scale):
+    mix = build_bench_mix("betw", "back", scale, warps_per_sm=12)
+    # An irregular, write-heavy mix where over-fetching wastes bandwidth.
+    irregular = build_bench_mix("bfs3", "gaus", scale, warps_per_sm=12)
+    out = {}
+    for policy in ("none", "next_line", "stride", "dynamic"):
+        config = default_config()
+        config = config.copy(prefetch=replace(config.prefetch, policy=policy))
+        out[policy] = ZnGPlatform(ZnGVariant.FULL, config).run(mix.combined)
+        config2 = default_config()
+        config2 = config2.copy(prefetch=replace(config2.prefetch, policy=policy))
+        out[("irregular", policy)] = ZnGPlatform(ZnGVariant.FULL, config2).run(
+            irregular.combined
+        )
+    return out
+
+
+def test_ablation_prefetch_policy(benchmark, bench_scale):
+    out = run_once(benchmark, _compare, bench_scale)
+
+    # Adaptive prefetching beats no prefetching and a stride detector on the
+    # graph mix.
+    assert out["dynamic"].ipc >= out["none"].ipc
+    assert out["dynamic"].ipc >= out["stride"].ipc
+    # On the irregular mix, the dynamic prefetcher moves less wasted flash data
+    # than the always-on next-line policy (its robustness benefit).
+    dyn_flash = out[("irregular", "dynamic")].flash_array_read_bandwidth_gbps
+    nl_flash = out[("irregular", "next_line")].flash_array_read_bandwidth_gbps
+    assert dyn_flash <= nl_flash + 1e-6
+
+    print("\nAblation — read-prefetch policy (graph mix betw-back)")
+    print(f"  {'policy':10s} {'IPC':>10s} {'L2 hit':>8s} {'pf rate':>8s}")
+    for policy in ("none", "next_line", "stride", "dynamic"):
+        result = out[policy]
+        print(f"  {policy:10s} {result.ipc:>10.4f} {result.l2_hit_rate:>8.3f} "
+              f"{result.extra.get('prefetch_rate', 0):>8.3f}")
+    print("  (next-line maximises IPC on highly-sequential traces but the")
+    print("   adaptive policy avoids over-fetch on irregular ones.)")

@@ -1,0 +1,43 @@
+"""Ablation: number of flash registers per plane.
+
+More registers per plane enlarge the fully-associative write cache and absorb
+more of the redundant writes (Fig. 5c), cutting flash programs.
+"""
+
+from dataclasses import replace
+
+from repro.config import default_config
+from repro.platforms.zng import ZnGPlatform, ZnGVariant
+from benchmarks.harness import build_bench_mix, run_once
+
+
+def _compare(scale):
+    mix = build_bench_mix("betw", "back", scale, warps_per_sm=12)
+    out = {}
+    for registers in (2, 4, 8, 16):
+        config = default_config()
+        config = config.copy(
+            register_cache=replace(config.register_cache, registers_per_plane=registers)
+        )
+        platform = ZnGPlatform(ZnGVariant.FULL, config)
+        result = platform.run(mix.combined)
+        out[registers] = (
+            result.extra.get("register_hit_rate", 0.0),
+            platform.register_cache.programs_issued,
+            result.ipc,
+        )
+    return out
+
+
+def test_ablation_register_count(benchmark, bench_scale):
+    out = run_once(benchmark, _compare, bench_scale)
+
+    hit_rates = [out[r][0] for r in (2, 4, 8, 16)]
+    # More registers never reduce the register hit rate.
+    assert hit_rates == sorted(hit_rates) or max(hit_rates) - min(hit_rates) < 0.1
+
+    print("\nAblation — Registers per plane")
+    print(f"  {'registers':10s} {'hit rate':>10s} {'programs':>10s} {'IPC':>10s}")
+    for registers in (2, 4, 8, 16):
+        hit, programs, ipc = out[registers]
+        print(f"  {registers:>10d} {hit:>10.3f} {programs:>10d} {ipc:>10.4f}")

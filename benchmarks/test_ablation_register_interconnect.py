@@ -1,0 +1,52 @@
+"""Ablation: register interconnect (SWnet vs FCnet vs NiF).
+
+Section IV-C proposes NiF as the low-cost, high-performance register network.
+This bench measures the write-path cost and wiring cost of each interconnect.
+"""
+
+from dataclasses import replace
+
+from repro.config import default_config
+from repro.core.register_network import build_register_network
+from repro.platforms.zng import ZnGPlatform, ZnGVariant
+from repro.ssd.flash_network import FlashNetwork
+from repro.ssd.znand import ZNANDArray
+from benchmarks.harness import build_bench_mix, run_once
+
+
+def _run_variant(interconnect, mix, base_config):
+    config = base_config.copy(
+        register_cache=replace(base_config.register_cache, interconnect=interconnect)
+    )
+    platform = ZnGPlatform(ZnGVariant.FULL, config)
+    result = platform.run(mix.combined)
+    return result, platform.register_cache.network.wire_cost_units()
+
+
+def _compare(scale):
+    base_config = default_config()
+    mix = build_bench_mix("betw", "back", scale, warps_per_sm=12)
+    return {
+        name: _run_variant(name, mix, base_config)
+        for name in ("swnet", "fcnet", "nif")
+    }
+
+
+def test_ablation_register_interconnect(benchmark, bench_scale):
+    results = run_once(benchmark, _compare, bench_scale)
+
+    swnet_ipc, swnet_cost = results["swnet"]
+    fcnet_ipc, fcnet_cost = results["fcnet"]
+    nif_ipc, nif_cost = results["nif"]
+
+    # FCnet has the highest wiring cost; NiF is cheaper but still fast.
+    assert fcnet_cost > nif_cost
+    assert swnet_cost == 0.0
+    # NiF should not be meaningfully slower than the expensive FCnet.
+    assert nif_ipc.ipc >= fcnet_ipc.ipc * 0.85
+
+    print("\nAblation — Register interconnect")
+    print(f"  {'network':8s} {'IPC':>10s} {'wire cost':>12s}")
+    for name in ("swnet", "fcnet", "nif"):
+        result, cost = results[name]
+        print(f"  {name:8s} {result.ipc:>10.4f} {cost:>12.0f}")

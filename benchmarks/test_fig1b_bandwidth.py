@@ -1,0 +1,13 @@
+"""Bench: Figure 1b — accumulated bandwidth of GDDR5 vs HybridGPU components."""
+
+from repro.analysis.figures import figure_1b
+from benchmarks.harness import print_table
+
+
+def test_fig1b_bandwidth(benchmark):
+    data = benchmark(figure_1b)
+    # GDDR5 dwarfs every embedded-SSD component (Fig. 1b).
+    assert data["GDDR5"] > data["DRAM buffer"] * 5
+    assert data["GDDR5"] > data["SSD engine"]
+    assert data["GDDR5"] > data["Flash channel"]
+    print_table("Figure 1b — Accumulated bandwidth (GB/s)", data, "{:.2f}")

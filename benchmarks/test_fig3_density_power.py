@@ -1,0 +1,18 @@
+"""Bench: Figure 3 — memory density (3a) and power consumption (3b)."""
+
+from repro.analysis.figures import figure_3
+
+
+def test_fig3_density_power(benchmark):
+    data = benchmark(figure_3)
+    densities = {k: v["density_gb"] for k, v in data.items()}
+    powers = {k: v["power_w_per_gb"] for k, v in data.items()}
+    # Z-NAND: densest and most power-efficient; GDDR5: least dense, most power.
+    assert densities["Z-NAND"] == max(densities.values())
+    assert powers["Z-NAND"] == min(powers.values())
+    assert powers["GDDR5"] == max(powers.values())
+
+    print("\nFigure 3 — Density and power")
+    print(f"  {'tech':10s} {'density(GB)':>12s} {'power(W/GB)':>12s}")
+    for name, values in data.items():
+        print(f"  {name:10s} {values['density_gb']:>12.2f} {values['power_w_per_gb']:>12.2f}")

@@ -1,0 +1,13 @@
+"""Bench: Figure 4c — maximum data-access throughput of the memory media."""
+
+from repro.analysis.figures import figure_4c
+from benchmarks.harness import print_table
+
+
+def test_fig4c_throughput(benchmark):
+    data = benchmark(figure_4c)
+    # GDDR5 is fastest; the SSD-backed systems are far slower (Fig. 4c).
+    assert data["GDDR5"] == max(data.values())
+    assert data["HybridGPU"] < data["GDDR5"]
+    assert data["ZSSD (GPU-SSD)"] < data["GDDR5"]
+    print_table("Figure 4c — Peak throughput (GB/s)", data, "{:.2f}")

@@ -1,0 +1,19 @@
+"""Bench: Figure 4d — memory-access latency breakdown (GPU-DRAM vs HybridGPU).
+
+The paper attributes ~67% of HybridGPU's latency to the SSD engine; here the
+SSD-side components (engine, dispatcher, flash, DRAM buffer) dominate.
+"""
+
+from repro.analysis.figures import figure_4d
+from benchmarks.harness import print_table, run_once
+
+
+def test_fig4d_latency_breakdown(benchmark, bench_scale):
+    data = run_once(benchmark, figure_4d, scale=bench_scale, mix=("betw", "back"))
+    hybrid = data["HybridGPU"]
+    ssd_components = ("ssd_engine", "ssd_dispatcher", "flash_array", "flash_channel", "dram_buffer")
+    ssd_share = sum(hybrid.get(c, 0.0) for c in ssd_components)
+    assert ssd_share > 0.5, f"SSD side should dominate HybridGPU latency, got {ssd_share:.2f}"
+
+    for name, fractions in data.items():
+        print_table(f"Figure 4d — {name} latency breakdown (fraction)", fractions, "{:.3f}")

@@ -1,0 +1,14 @@
+"""Bench: Figure 5a — performance degradation of raw Z-NAND access."""
+
+from repro.analysis.figures import figure_5a
+from benchmarks.harness import print_table, run_once
+
+
+def test_fig5a_degradation(benchmark, bench_scale, bench_mixes):
+    data = run_once(benchmark, figure_5a, scale=bench_scale, mixes=bench_mixes)
+    # Every mix is substantially slower on unbuffered Z-NAND than on GDDR5.
+    for name, factor in data.items():
+        assert factor > 2.0, f"{name} degradation {factor:.1f} too small"
+    print_table("Figure 5a — Perf. degradation (GDDR5 / ZnG-base)", data, "{:.1f}")
+    print(f"  geomean degradation: "
+          f"{(lambda v: (len(v) and __import__('math').exp(sum(map(__import__('math').log, v))/len(v))))(list(data.values())):.1f}")

@@ -1,0 +1,19 @@
+"""Bench: Figures 5b / 5c — read re-access and write redundancy per page."""
+
+from repro.analysis.figures import figure_5b, figure_5c
+from benchmarks.harness import print_table, run_once
+from repro.workloads.suites import MULTI_APP_MIXES
+
+
+def test_fig5b_read_reaccess(benchmark, bench_scale, bench_mixes):
+    data = run_once(benchmark, figure_5b, scale=bench_scale, mixes=bench_mixes)
+    for name, value in data.items():
+        assert value > 1.0, f"{name} read re-access {value:.1f} implausibly low"
+    print_table("Figure 5b — Read re-accesses per page", data, "{:.1f}")
+
+
+def test_fig5c_write_redundancy(benchmark, bench_scale, bench_mixes):
+    data = run_once(benchmark, figure_5c, scale=bench_scale, mixes=bench_mixes)
+    for name, value in data.items():
+        assert value > 1.0, f"{name} write redundancy {value:.1f} implausibly low"
+    print_table("Figure 5c — Write redundancy per page", data, "{:.1f}")

@@ -1,0 +1,18 @@
+"""Bench: Figure 5d — read/write access fraction per application."""
+
+from repro.analysis.figures import figure_5d
+from benchmarks.harness import run_once
+from repro.workloads.suites import workload_by_name
+
+
+def test_fig5d_access_breakdown(benchmark, bench_scale):
+    data = run_once(benchmark, figure_5d, scale=bench_scale)
+    # Read fraction tracks the Table II read ratio of each workload.
+    for name, fractions in data.items():
+        expected = workload_by_name(name).read_ratio
+        assert abs(fractions["read"] - expected) < 0.12, name
+
+    print("\nFigure 5d — Access breakdown (read / write)")
+    print(f"  {'workload':8s} {'read':>8s} {'write':>8s}")
+    for name, fractions in sorted(data.items()):
+        print(f"  {name:8s} {fractions['read']:>8.2f} {fractions['write']:>8.2f}")

@@ -1,0 +1,23 @@
+"""Bench: Figure 8b — asymmetric writes across channels and planes."""
+
+import numpy as np
+
+from repro.analysis.figures import figure_8b
+from benchmarks.harness import run_once
+
+
+def test_fig8b_write_asymmetry(benchmark, bench_scale):
+    heatmap = run_once(benchmark, figure_8b, scale=bench_scale, mix=("betw", "back"))
+    assert isinstance(heatmap, np.ndarray)
+    assert heatmap.sum() > 0
+    # Writes are asymmetric across planes (the motivation for register grouping).
+    assert heatmap.max() > heatmap.min()
+
+    nonzero = heatmap[heatmap > 0]
+    coefficient_of_variation = float(nonzero.std() / nonzero.mean()) if nonzero.size else 0.0
+    print("\nFigure 8b — Write distribution across (channel, plane)")
+    print(f"  channels x planes: {heatmap.shape}")
+    print(f"  total writes: {int(heatmap.sum())}")
+    print(f"  min/mean/max per cell: {int(heatmap.min())} / "
+          f"{heatmap.mean():.1f} / {int(heatmap.max())}")
+    print(f"  coefficient of variation: {coefficient_of_variation:.2f}")

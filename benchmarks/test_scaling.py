@@ -1,0 +1,32 @@
+"""Bench: ZnG speedup over HybridGPU as thread-level parallelism scales.
+
+ZnG's advantage grows with TLP because more concurrent warps keep more Z-NAND
+planes busy, letting the accumulated flash bandwidth be realised — the central
+argument of the paper.  This bench sweeps warps-per-SM and reports the trend.
+"""
+
+from repro.platforms import build_platform
+from benchmarks.harness import build_bench_mix, run_once
+
+
+def _sweep(scale):
+    trend = {}
+    for warps in (2, 4, 8, 16):
+        mix = build_bench_mix("betw", "back", scale, warps_per_sm=warps)
+        zng = build_platform("ZnG").run(mix.combined)
+        hybrid = build_platform("HybridGPU").run(mix.combined)
+        trend[warps] = zng.ipc / hybrid.ipc if hybrid.ipc else 0.0
+    return trend
+
+
+def test_scaling_with_parallelism(benchmark, bench_scale):
+    trend = run_once(benchmark, _sweep, bench_scale)
+
+    # Speedup should be non-decreasing as parallelism grows.
+    values = [trend[w] for w in (2, 4, 8, 16)]
+    assert values[-1] >= values[0]
+
+    print("\nZnG / HybridGPU speedup vs thread-level parallelism")
+    print(f"  {'warps/SM':10s} {'speedup':>10s}")
+    for warps in (2, 4, 8, 16):
+        print(f"  {warps:>10d} {trend[warps]:>10.2f}")

@@ -1,0 +1,21 @@
+"""Bench: regenerate Table I (system configuration)."""
+
+from repro.analysis.tables import table_1_configuration
+from benchmarks.harness import print_table
+
+
+def test_table1_configuration(benchmark):
+    table = benchmark(table_1_configuration)
+    gpu = table["GPU"]
+    assert gpu["SMs"] == 16
+    assert gpu["max_warps_per_sm"] == 80
+    znand = table["Z-NAND array"]
+    assert znand["channels"] == 16
+    assert znand["read_latency_us"] == 3.0
+    assert znand["program_latency_us"] == 100.0
+
+    print("\nTable I — System configuration of ZnG")
+    for subsystem, values in table.items():
+        print(f"  [{subsystem}]")
+        for key, value in values.items():
+            print(f"    {key:24s}: {value}")

@@ -1,0 +1,19 @@
+"""Bench: regenerate Table II (workload read ratios and kernel counts)."""
+
+from repro.analysis.tables import table_2_workloads
+
+
+def test_table2_workloads(benchmark):
+    rows = benchmark(table_2_workloads)
+    assert len(rows) == 16
+    by_name = {row["workload"]: row for row in rows}
+    assert by_name["deg"]["read_ratio"] == 1.0
+    assert by_name["pr"]["kernels"] == 53
+
+    print("\nTable II — GPU benchmarks")
+    print(f"  {'workload':8s} {'suite':12s} {'read_ratio':>10s} {'kernels':>8s}")
+    for row in rows:
+        print(
+            f"  {row['workload']:8s} {row['suite']:12s} "
+            f"{row['read_ratio']:>10.2f} {row['kernels']:>8d}"
+        )

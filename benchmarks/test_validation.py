@@ -1,0 +1,16 @@
+"""Bench: analytic-vs-measured validation of the simulator's bandwidth models."""
+
+from repro.analysis.validation import validate_all
+from benchmarks.harness import run_once
+
+
+def test_validation(benchmark):
+    results = run_once(benchmark, validate_all)
+    for result in results.values():
+        assert result.within(0.1), f"{result.name}: {result.relative_error:.2%}"
+
+    print("\nValidation — analytic vs measured")
+    print(f"  {'check':26s} {'analytic':>14s} {'measured':>14s} {'rel.err':>8s}")
+    for result in results.values():
+        print(f"  {result.name:26s} {result.analytic:>14.3e} "
+              f"{result.measured:>14.3e} {result.relative_error:>8.2%}")

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Domain example: BFS and PageRank over a synthetic power-law graph.
+
+Builds a real CSR graph with a power-law degree distribution and runs concrete
+BFS and PageRank traversals through the ZnG memory system, so the locality and
+re-access patterns emerge from graph structure — the workload class that
+motivates the paper.
+
+Run with::
+
+    python examples/csr_graph_traversal.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.platforms import build_platform
+from repro.workloads.graphgen import (
+    bfs_traversal,
+    generate_power_law_graph,
+    pagerank_iteration,
+)
+
+
+def main() -> None:
+    graph = generate_power_law_graph(num_vertices=4000, avg_degree=8, seed=1)
+    ref_counts = np.bincount(graph.column_index, minlength=graph.num_vertices)
+    print("Synthetic power-law graph")
+    print(f"  vertices: {graph.num_vertices}  edges: {graph.num_edges}")
+    print(f"  most-referenced vertex is cited {ref_counts.max()} times "
+          f"(mean {ref_counts.mean():.1f}) — hubs drive re-access")
+
+    for label, trace in (
+        ("BFS level expansion", bfs_traversal(graph, num_warps=64, seed=1)),
+        ("PageRank iteration", pagerank_iteration(graph, num_warps=64, seed=1)),
+    ):
+        print(f"\n== {label} ==")
+        print(f"  memory instructions: {trace.total_memory_instructions}")
+        print(f"  read ratio: {trace.measured_read_ratio:.2f}  "
+              f"mean page re-access: {trace.mean_read_reaccess:.1f}")
+        print(f"  {'platform':12s} {'IPC':>9s} {'L2 hit':>8s} {'flash GB/s':>11s}")
+        for name in ("HybridGPU", "Optane", "ZnG"):
+            result = build_platform(name).run(trace)
+            print(f"  {name:12s} {result.ipc:>9.4f} {result.l2_hit_rate:>8.3f} "
+                  f"{result.flash_array_read_bandwidth_gbps:>11.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Domain example: verifying the zero-overhead FTL preserves data.
+
+The ZnG FTL redirects writes to log blocks, remaps them through the row
+decoder, and periodically merges log blocks back into data blocks via the GPU
+helper thread.  This example runs a randomized read/write workload through the
+FTL with a functional shadow model and checks that every read returns the most
+recent write — across hundreds of garbage-collection merges.
+
+Run with::
+
+    python examples/data_integrity.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.config import FTLConfig, ZNANDConfig
+from repro.core.helper_gc import HelperThreadGC
+from repro.core.integrity import install_integrity_tracking
+from repro.core.zero_overhead_ftl import ZeroOverheadFTL
+from repro.ssd.flash_network import FlashNetwork
+from repro.ssd.znand import ZNANDArray
+
+
+def main() -> None:
+    config = ZNANDConfig(
+        channels=4, dies_per_package=2, planes_per_die=2,
+        blocks_per_plane=16, pages_per_block=8,
+    )
+    array = ZNANDArray(config, network=FlashNetwork(config, "mesh"))
+    ftl = ZeroOverheadFTL(array, FTLConfig(data_blocks_per_log_block=4))
+    ftl.helper_gc = HelperThreadGC(ftl, array)
+    ftl.setup_mapping(64)
+    model = install_integrity_tracking(ftl)
+
+    rng = random.Random(7)
+    expected = {}
+    operations = 2000
+    print(f"Running {operations} randomized writes through the FTL...")
+    for step in range(operations):
+        vp = rng.randint(0, 63)
+        value = rng.randint(0, 1 << 30)
+        model.write(vp, value, now=step * 1000.0)
+        expected[vp] = value
+
+    mismatches = sum(1 for vp, value in expected.items() if model.read(vp) != value)
+
+    print(f"  writes issued:        {model.writes}")
+    print(f"  GC merges performed:  {ftl.gc_merges}")
+    print(f"  helper pages copied:  {ftl.helper_gc.pages_copied}")
+    print(f"  flash programs:       {array.page_programs}")
+    print(f"  distinct pages read:  {len(expected)}")
+    print(f"  read-after-write mismatches: {mismatches}")
+    print("  RESULT:", "PASS — data preserved across GC" if mismatches == 0 else "FAIL")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+#!/usr/bin/env python
+"""Generate the complete textual reproduction report (all tables and figures).
+
+This is a thin wrapper over ``repro.analysis.fullreport`` that runs at a small
+scale so it finishes quickly; raise ``scale`` for closer-to-paper numbers.
+
+Run with::
+
+    python examples/full_report.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.fullreport import generate_report
+
+
+def main() -> None:
+    print(generate_report(scale=0.15, mixes=[("betw", "back"), ("bfs1", "gaus")]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Domain example: ZnG design-space sensitivity sweeps.
+
+Sweeps ZnG's main design knobs one at a time — flash registers per plane, L2
+capacity, prefetch threshold and register interconnect — and prints how each
+affects IPC, L2 hit rate and register hit rate.  This is the exploration the
+paper does to justify its default configuration (Table I).
+
+Run with::
+
+    python examples/sensitivity_sweep.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import sensitivity
+
+
+def _print_numeric(title, results, extract):
+    print(f"\n{title}")
+    for key in sorted(results):
+        result = results[key]
+        ipc, extra = result.ipc, extract(result)
+        print(f"  {str(key):>6}: IPC={ipc:.4f}  {extra}")
+
+
+def main() -> None:
+    scale = 0.2
+
+    regs = sensitivity.sweep_registers_per_plane(values=[2, 4, 8, 16], scale=scale)
+    _print_numeric(
+        "Registers per plane (write-cache size):",
+        regs,
+        lambda r: f"reg_hit={r.extra.get('register_hit_rate', 0):.3f}  "
+                  f"flash_gbps={r.flash_array_read_bandwidth_gbps:.1f}",
+    )
+
+    l2 = sensitivity.sweep_l2_size(sizes_mb=[6, 12, 24, 48], scale=scale)
+    _print_numeric(
+        "L2 capacity (MB):",
+        l2,
+        lambda r: f"l2_hit={r.l2_hit_rate:.3f}",
+    )
+
+    thresh = sensitivity.sweep_prefetch_threshold(thresholds=[1, 4, 8, 12, 15], scale=scale)
+    _print_numeric(
+        "Prefetch cutoff threshold:",
+        thresh,
+        lambda r: f"prefetch_rate={r.extra.get('prefetch_rate', 0):.3f}  "
+                  f"l2_hit={r.l2_hit_rate:.3f}",
+    )
+
+    interconnect = sensitivity.sweep_interconnect(scale=scale)
+    print("\nRegister interconnect:")
+    for kind in ("swnet", "fcnet", "nif"):
+        result = interconnect[kind]
+        print(f"  {kind:6s}: IPC={result.ipc:.4f}")
+
+
+if __name__ == "__main__":
+    main()

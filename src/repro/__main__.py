@@ -1,0 +1,113 @@
+"""Command-line interface for the ZnG reproduction.
+
+Usage::
+
+    python -m repro report              # full textual reproduction report
+    python -m repro fig10               # normalised IPC table (Figure 10)
+    python -m repro fig11               # flash-array bandwidth (Figure 11)
+    python -m repro table1              # system configuration (Table I)
+    python -m repro table2              # workloads (Table II)
+    python -m repro validate            # analytic-vs-measured validations
+    python -m repro run <platform> <read_app> <write_app>   # one platform x mix
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List
+
+from repro.analysis import figures
+from repro.analysis.fullreport import generate_report
+from repro.analysis.report import format_figure_table
+from repro.analysis.tables import table_1_configuration, table_2_workloads
+from repro.analysis.validation import validate_all
+
+
+def _cmd_report(args: List[str]) -> int:
+    scale = float(args[0]) if args else 0.15
+    print(generate_report(scale=scale, mixes=[("betw", "back"), ("bfs1", "gaus")]))
+    return 0
+
+
+def _cmd_fig10(args: List[str]) -> int:
+    scale = float(args[0]) if args else 0.2
+    data = figures.figure_10(scale=scale, mixes=[("betw", "back"), ("bfs1", "gaus")])
+    print(format_figure_table("Figure 10 — Normalised IPC (to ZnG)", data, "{:.3f}"))
+    return 0
+
+
+def _cmd_fig11(args: List[str]) -> int:
+    scale = float(args[0]) if args else 0.2
+    data = figures.figure_11(scale=scale, mixes=[("betw", "back"), ("bfs1", "gaus")])
+    print(format_figure_table("Figure 11 — Flash-array bandwidth (GB/s)", data, "{:.2f}"))
+    return 0
+
+
+def _cmd_table1(args: List[str]) -> int:
+    for subsystem, values in table_1_configuration().items():
+        print(f"[{subsystem}]")
+        for key, value in values.items():
+            print(f"  {key:24s}: {value}")
+    return 0
+
+
+def _cmd_table2(args: List[str]) -> int:
+    print(f"{'workload':8s} {'suite':12s} {'read_ratio':>10s} {'kernels':>8s}")
+    for row in table_2_workloads():
+        print(f"{row['workload']:8s} {row['suite']:12s} "
+              f"{row['read_ratio']:>10.2f} {row['kernels']:>8d}")
+    return 0
+
+
+def _cmd_validate(args: List[str]) -> int:
+    print(f"{'check':26s} {'analytic':>14s} {'measured':>14s} {'rel.err':>8s}")
+    for result in validate_all().values():
+        print(f"{result.name:26s} {result.analytic:>14.3e} "
+              f"{result.measured:>14.3e} {result.relative_error:>8.2%}")
+    return 0
+
+
+def _cmd_run(args: List[str]) -> int:
+    if len(args) < 3:
+        print("usage: python -m repro run <platform> <read_app> <write_app>")
+        return 2
+    from repro.platforms import build_platform
+    from repro.workloads import build_mix
+
+    platform_name, read_app, write_app = args[0], args[1], args[2]
+    mix = build_mix(read_app, write_app, scale=0.3, warps_per_sm=12,
+                    memory_instructions_per_warp=96)
+    result = build_platform(platform_name).run(mix.combined)
+    print(f"{platform_name} on {read_app}-{write_app}:")
+    print(f"  IPC:                  {result.ipc:.4f}")
+    print(f"  cycles:               {result.cycles:.0f}")
+    print(f"  L2 hit rate:          {result.l2_hit_rate:.3f}")
+    print(f"  flash-array BW (GB/s):{result.flash_array_read_bandwidth_gbps:.2f}")
+    return 0
+
+
+COMMANDS = {
+    "report": _cmd_report,
+    "fig10": _cmd_fig10,
+    "fig11": _cmd_fig11,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "validate": _cmd_validate,
+    "run": _cmd_run,
+}
+
+
+def main(argv: List[str] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help", "help"):
+        print(__doc__)
+        return 0
+    command = argv[0]
+    if command not in COMMANDS:
+        print(f"unknown command {command!r}; known: {sorted(COMMANDS)}")
+        return 2
+    return COMMANDS[command](argv[1:])
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

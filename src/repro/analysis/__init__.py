@@ -1,0 +1,45 @@
+"""Analysis layer: metrics, figure/table reproduction and reporting."""
+
+from repro.analysis.metrics import (
+    normalized_ipc,
+    speedup,
+    bandwidth_gbps,
+    latency_breakdown_fractions,
+)
+from repro.analysis.figures import (
+    figure_1b,
+    figure_3,
+    figure_4c,
+    figure_4d,
+    figure_5a,
+    figure_5b,
+    figure_5c,
+    figure_5d,
+    figure_8b,
+    figure_10,
+    figure_11,
+)
+from repro.analysis.tables import table_1_configuration, table_2_workloads
+from repro.analysis.report import format_figure_table, render_report
+
+__all__ = [
+    "normalized_ipc",
+    "speedup",
+    "bandwidth_gbps",
+    "latency_breakdown_fractions",
+    "figure_1b",
+    "figure_3",
+    "figure_4c",
+    "figure_4d",
+    "figure_5a",
+    "figure_5b",
+    "figure_5c",
+    "figure_5d",
+    "figure_8b",
+    "figure_10",
+    "figure_11",
+    "table_1_configuration",
+    "table_2_workloads",
+    "format_figure_table",
+    "render_report",
+]

@@ -1,0 +1,308 @@
+"""Reproduction entry points for every figure in the paper's evaluation.
+
+Each ``figure_*`` function regenerates the data behind the corresponding
+figure: it builds the workloads, runs the platforms and returns plain Python
+dictionaries/arrays with the same rows/series the paper plots.  Absolute
+numbers differ from the paper (different substrate, synthetic traces); the
+*shape* — who wins, by roughly what factor, where the bottleneck sits — is
+asserted by the benches in ``benchmarks/``.
+
+All functions take a ``scale`` knob (trace size multiplier) and, where
+relevant, a ``mixes`` subset so callers can trade fidelity for runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import (
+    DRAM_TECHNOLOGIES,
+    PlatformConfig,
+    default_config,
+)
+from repro.platforms.base import PlatformResult
+from repro.platforms.zng import PLATFORM_NAMES, build_platform
+from repro.workloads.multiapp import MultiAppWorkload, build_all_mixes, build_mix
+from repro.workloads.suites import ALL_WORKLOADS, MULTI_APP_MIXES, mix_name
+from repro.workloads.trace import WorkloadTrace
+
+#: Default (small) trace scale used when a caller does not specify one.
+DEFAULT_SCALE = 0.25
+#: Default subset of mixes used by the quick figure runs.
+DEFAULT_MIXES: List[Tuple[str, str]] = [("betw", "back"), ("bfs1", "gaus"), ("pr", "gaus")]
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+
+
+def run_platform_on_mix(
+    platform_name: str,
+    mix: MultiAppWorkload,
+    config: Optional[PlatformConfig] = None,
+) -> PlatformResult:
+    """Run one platform on one multi-app mix (a fresh platform per run)."""
+    platform = build_platform(platform_name, config)
+    return platform.run(mix.combined)
+
+
+def run_platforms(
+    platform_names: Sequence[str],
+    mix: MultiAppWorkload,
+    config: Optional[PlatformConfig] = None,
+) -> Dict[str, PlatformResult]:
+    return {name: run_platform_on_mix(name, mix, config) for name in platform_names}
+
+
+def _mixes_for(
+    mixes: Optional[Sequence[Tuple[str, str]]],
+    scale: float,
+    warps_per_sm: int = 8,
+    memory_instructions_per_warp: int = 64,
+) -> Dict[str, MultiAppWorkload]:
+    return build_all_mixes(
+        scale=scale,
+        mixes=list(mixes or DEFAULT_MIXES),
+        warps_per_sm=warps_per_sm,
+        memory_instructions_per_warp=memory_instructions_per_warp,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 1b — accumulated bandwidth of HybridGPU components vs GDDR5
+# ---------------------------------------------------------------------------
+
+
+def figure_1b(config: Optional[PlatformConfig] = None) -> Dict[str, float]:
+    """Peak bandwidth (GB/s) of GDDR5 vs each HybridGPU component.
+
+    The paper's point: every component of the embedded SSD (DRAM buffer, flash
+    channels, flash array write path, SSD engine) sits one to two orders of
+    magnitude below the traditional GPU memory subsystem.
+    """
+    cfg = config or default_config()
+    znand = cfg.znand
+    engine = cfg.ssd_engine
+    flash_channel_total = znand.channel_bandwidth_bytes_per_s * znand.channels
+    flash_read = min(znand.accumulated_read_bandwidth_bytes_per_s, flash_channel_total)
+    plane_write_bw = znand.page_size_bytes / (znand.program_latency_us * 1e-6)
+    flash_write = min(plane_write_bw * znand.total_planes, flash_channel_total)
+    return {
+        "GDDR5": DRAM_TECHNOLOGIES["GDDR5"].peak_bandwidth_gbps,
+        "DRAM buffer": engine.dram_buffer_bandwidth_bytes_per_s / 1e9,
+        "Flash channel": flash_channel_total / 1e9,
+        "Flash read": flash_read / 1e9,
+        "Flash write": flash_write / 1e9,
+        "SSD engine": engine.engine_throughput_bytes_per_s / 1e9,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — memory density and power consumption
+# ---------------------------------------------------------------------------
+
+
+def figure_3() -> Dict[str, Dict[str, float]]:
+    """Per-technology package density (GB) and power (W/GB), Figs 3a/3b."""
+    return {
+        name: {
+            "density_gb": tech.package_capacity_gb,
+            "power_w_per_gb": tech.power_w_per_gb,
+        }
+        for name, tech in DRAM_TECHNOLOGIES.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 4c — maximum data-access throughput of the memory media
+# ---------------------------------------------------------------------------
+
+
+def figure_4c(config: Optional[PlatformConfig] = None) -> Dict[str, float]:
+    """Peak throughput (GB/s) of GDDR5/DDR4/LPDDR4/GPU-SSD/HybridGPU.
+
+    For the two SSD-based systems the data is assumed to reside in the SSD, so
+    their throughput is capped by the slowest element of their data path.
+    """
+    cfg = config or default_config()
+    gpu_ssd = min(
+        cfg.host.nvme_bandwidth_gbps,
+        cfg.host.pcie_bandwidth_gbps,
+        cfg.host.host_copy_bandwidth_gbps,
+    )
+    hybrid = min(
+        cfg.ssd_engine.engine_throughput_bytes_per_s / 1e9,
+        cfg.ssd_engine.dram_buffer_bandwidth_bytes_per_s / 1e9,
+        cfg.znand.channel_bandwidth_bytes_per_s * cfg.znand.channels / 1e9,
+    )
+    return {
+        "GDDR5": DRAM_TECHNOLOGIES["GDDR5"].peak_bandwidth_gbps,
+        "DDR4": DRAM_TECHNOLOGIES["DDR4"].peak_bandwidth_gbps,
+        "LPDDR4": DRAM_TECHNOLOGIES["LPDDR4"].peak_bandwidth_gbps,
+        "ZSSD (GPU-SSD)": gpu_ssd,
+        "HybridGPU": hybrid,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 4d — memory-access latency breakdown, GPU(DRAM) vs HybridGPU
+# ---------------------------------------------------------------------------
+
+
+def figure_4d(
+    scale: float = DEFAULT_SCALE,
+    mix: Tuple[str, str] = ("betw", "back"),
+    config: Optional[PlatformConfig] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Latency-breakdown fractions per component for GDDR5 and HybridGPU."""
+    workload = build_mix(*mix, scale=scale, warps_per_sm=2, memory_instructions_per_warp=48)
+    results = run_platforms(["GDDR5", "HybridGPU"], workload, config)
+    return {name: result.breakdown_fractions() for name, result in results.items()}
+
+
+# ---------------------------------------------------------------------------
+# Figure 5a — performance degradation of raw Z-NAND accesses
+# ---------------------------------------------------------------------------
+
+
+def figure_5a(
+    scale: float = DEFAULT_SCALE,
+    mixes: Optional[Sequence[Tuple[str, str]]] = None,
+    config: Optional[PlatformConfig] = None,
+) -> Dict[str, float]:
+    """Per-mix slowdown of direct Z-NAND accesses (ZnG-base) vs GDDR5.
+
+    The paper reports degradations of up to ~28x because a 128 B request
+    wastes 97 % of the 4 KB flash page it senses.
+    """
+    degradation: Dict[str, float] = {}
+    for name, mix in _mixes_for(mixes, scale).items():
+        gddr5 = run_platform_on_mix("GDDR5", mix, config)
+        raw = run_platform_on_mix("ZnG-base", mix, config)
+        degradation[name] = gddr5.ipc / raw.ipc if raw.ipc else float("inf")
+    return degradation
+
+
+# ---------------------------------------------------------------------------
+# Figures 5b / 5c / 5d — workload characterisation
+# ---------------------------------------------------------------------------
+
+
+def figure_5b(
+    scale: float = DEFAULT_SCALE, mixes: Optional[Sequence[Tuple[str, str]]] = None
+) -> Dict[str, float]:
+    """Average read re-accesses per Z-NAND page, per mix (paper average ~42)."""
+    return {
+        name: mix.combined.mean_read_reaccess
+        for name, mix in _mixes_for(mixes or MULTI_APP_MIXES, scale).items()
+    }
+
+
+def figure_5c(
+    scale: float = DEFAULT_SCALE, mixes: Optional[Sequence[Tuple[str, str]]] = None
+) -> Dict[str, float]:
+    """Average write redundancy per Z-NAND page, per mix (paper average ~65)."""
+    return {
+        name: mix.combined.mean_write_redundancy
+        for name, mix in _mixes_for(mixes or MULTI_APP_MIXES, scale).items()
+    }
+
+
+def figure_5d(scale: float = DEFAULT_SCALE) -> Dict[str, Dict[str, float]]:
+    """Read/write access fraction per single application (Table II workloads)."""
+    from repro.workloads.generators import generate_workload
+
+    fractions: Dict[str, Dict[str, float]] = {}
+    for name, spec in ALL_WORKLOADS.items():
+        trace = generate_workload(spec, scale=scale, warps_per_sm=2,
+                                  memory_instructions_per_warp=48)
+        read_fraction = trace.measured_read_ratio
+        fractions[name] = {"read": read_fraction, "write": 1.0 - read_fraction}
+    return fractions
+
+
+# ---------------------------------------------------------------------------
+# Figure 8b — asymmetric writes across channels and planes
+# ---------------------------------------------------------------------------
+
+
+def figure_8b(
+    scale: float = DEFAULT_SCALE,
+    mix: Tuple[str, str] = ("betw", "back"),
+    platform: str = "ZnG-base",
+    config: Optional[PlatformConfig] = None,
+) -> np.ndarray:
+    """Write-count heat map over (channel, plane) after running a mix."""
+    workload = build_mix(*mix, scale=scale, warps_per_sm=2, memory_instructions_per_warp=48)
+    built = build_platform(platform, config)
+    built.run(workload.combined)
+    return built.array.write_heatmap()  # type: ignore[attr-defined]
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 — normalised IPC of all platforms
+# ---------------------------------------------------------------------------
+
+
+def figure_10(
+    scale: float = DEFAULT_SCALE,
+    mixes: Optional[Sequence[Tuple[str, str]]] = None,
+    platforms: Optional[Sequence[str]] = None,
+    config: Optional[PlatformConfig] = None,
+    normalize_to: str = "ZnG",
+) -> Dict[str, Dict[str, float]]:
+    """Per-mix IPC of every platform, normalised to ``normalize_to`` (ZnG).
+
+    Returns ``{mix_name: {platform: normalised_ipc}}``.
+    """
+    platform_names = list(platforms or PLATFORM_NAMES)
+    output: Dict[str, Dict[str, float]] = {}
+    for name, mix in _mixes_for(mixes, scale).items():
+        results = run_platforms(platform_names, mix, config)
+        reference = results[normalize_to].ipc if normalize_to in results else None
+        if not reference:
+            reference = max(result.ipc for result in results.values()) or 1.0
+        output[name] = {p: results[p].ipc / reference for p in platform_names}
+    return output
+
+
+def figure_10_raw(
+    scale: float = DEFAULT_SCALE,
+    mixes: Optional[Sequence[Tuple[str, str]]] = None,
+    platforms: Optional[Sequence[str]] = None,
+    config: Optional[PlatformConfig] = None,
+) -> Dict[str, Dict[str, PlatformResult]]:
+    """Same sweep as :func:`figure_10` but returning the full result records."""
+    platform_names = list(platforms or PLATFORM_NAMES)
+    output: Dict[str, Dict[str, PlatformResult]] = {}
+    for name, mix in _mixes_for(mixes, scale).items():
+        output[name] = run_platforms(platform_names, mix, config)
+    return output
+
+
+# ---------------------------------------------------------------------------
+# Figure 11 — achieved Z-NAND flash-array bandwidth
+# ---------------------------------------------------------------------------
+
+
+def figure_11(
+    scale: float = DEFAULT_SCALE,
+    mixes: Optional[Sequence[Tuple[str, str]]] = None,
+    platforms: Optional[Sequence[str]] = None,
+    config: Optional[PlatformConfig] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Per-mix flash-array read bandwidth (GB/s) of the flash-backed platforms."""
+    platform_names = list(
+        platforms or ["HybridGPU", "ZnG-base", "ZnG-rdopt", "ZnG-wropt", "ZnG"]
+    )
+    output: Dict[str, Dict[str, float]] = {}
+    for name, mix in _mixes_for(mixes, scale).items():
+        row: Dict[str, float] = {}
+        for platform_name in platform_names:
+            result = run_platform_on_mix(platform_name, mix, config)
+            row[platform_name] = result.flash_array_read_bandwidth_gbps
+        output[name] = row
+    return output

@@ -1,0 +1,92 @@
+"""Generate a complete textual reproduction report.
+
+Stitches together every table and figure into one report, suitable for
+``python -m repro.analysis.fullreport`` or for regenerating the narrative
+parts of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis import figures, tables
+from repro.analysis.report import format_figure_table, render_report
+
+
+def _table1_section() -> str:
+    lines = ["Table I — System configuration", "=" * 30]
+    for subsystem, values in tables.table_1_configuration().items():
+        lines.append(f"[{subsystem}]")
+        for key, value in values.items():
+            lines.append(f"  {key:24s}: {value}")
+    return "\n".join(lines)
+
+
+def _table2_section() -> str:
+    lines = ["Table II — GPU benchmarks", "=" * 25]
+    lines.append(f"{'workload':8s} {'suite':12s} {'read_ratio':>10s} {'kernels':>8s}")
+    for row in tables.table_2_workloads():
+        lines.append(
+            f"{row['workload']:8s} {row['suite']:12s} "
+            f"{row['read_ratio']:>10.2f} {row['kernels']:>8d}"
+        )
+    return "\n".join(lines)
+
+
+def generate_report(
+    scale: float = 0.2,
+    mixes: Optional[Sequence[Tuple[str, str]]] = None,
+) -> str:
+    """Build the full report at a given trace scale."""
+    quick_mixes = list(mixes or [("betw", "back"), ("bfs1", "gaus")])
+    sections: List[str] = [
+        _table1_section(),
+        _table2_section(),
+        format_figure_table(
+            "Figure 1b — Accumulated bandwidth (GB/s)", figures.figure_1b(), "{:.2f}"
+        ),
+        format_figure_table(
+            "Figure 3a — Density (GB/package)",
+            {k: v["density_gb"] for k, v in figures.figure_3().items()},
+            "{:.2f}",
+        ),
+        format_figure_table(
+            "Figure 3b — Power (W/GB)",
+            {k: v["power_w_per_gb"] for k, v in figures.figure_3().items()},
+            "{:.2f}",
+        ),
+        format_figure_table(
+            "Figure 4c — Peak throughput (GB/s)", figures.figure_4c(), "{:.2f}"
+        ),
+        format_figure_table(
+            "Figure 5a — Raw Z-NAND degradation (GDDR5/ZnG-base)",
+            figures.figure_5a(scale=scale, mixes=quick_mixes),
+            "{:.1f}",
+        ),
+        format_figure_table(
+            "Figure 5b — Read re-accesses per page",
+            figures.figure_5b(scale=scale, mixes=quick_mixes),
+            "{:.1f}",
+        ),
+        format_figure_table(
+            "Figure 5c — Write redundancy per page",
+            figures.figure_5c(scale=scale, mixes=quick_mixes),
+            "{:.1f}",
+        ),
+    ]
+    # Figure 10 (normalised IPC) as a multi-column table.
+    fig10 = figures.figure_10(scale=scale, mixes=quick_mixes)
+    sections.append(format_figure_table("Figure 10 — Normalised IPC (to ZnG)", fig10, "{:.3f}"))
+    fig11 = figures.figure_11(scale=scale, mixes=quick_mixes)
+    sections.append(
+        format_figure_table("Figure 11 — Flash-array bandwidth (GB/s)", fig11, "{:.2f}")
+    )
+    return render_report(sections)
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    print(generate_report())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

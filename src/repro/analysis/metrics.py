@@ -1,0 +1,65 @@
+"""Metric helpers shared by the figure-reproduction functions and the benches."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence
+
+from repro.config import GPU_FREQ_HZ
+from repro.platforms.base import PlatformResult
+from repro.sim.stats import geometric_mean
+
+
+def normalized_ipc(
+    results: Mapping[str, PlatformResult], reference: str
+) -> Dict[str, float]:
+    """Normalise every platform's IPC to the reference platform (Fig. 10 style)."""
+    if reference not in results:
+        raise KeyError(f"reference platform {reference!r} missing from results")
+    ref_ipc = results[reference].ipc
+    if ref_ipc == 0:
+        return {name: 0.0 for name in results}
+    return {name: result.ipc / ref_ipc for name, result in results.items()}
+
+
+def speedup(target: PlatformResult, baseline: PlatformResult) -> float:
+    """IPC speedup of ``target`` over ``baseline``."""
+    if baseline.ipc == 0:
+        return 0.0
+    return target.ipc / baseline.ipc
+
+
+def geomean_speedup(
+    per_workload: Mapping[str, Mapping[str, PlatformResult]],
+    target: str,
+    baseline: str,
+) -> float:
+    """Geometric-mean speedup of a platform over a baseline across workloads."""
+    ratios = []
+    for results in per_workload.values():
+        if target in results and baseline in results:
+            ratios.append(speedup(results[target], results[baseline]))
+    return geometric_mean(ratios)
+
+
+def bandwidth_gbps(bytes_moved: float, cycles: float) -> float:
+    """Convert bytes moved over a cycle span into GB/s."""
+    if cycles <= 0:
+        return 0.0
+    seconds = cycles / GPU_FREQ_HZ
+    return bytes_moved / seconds / 1e9
+
+
+def latency_breakdown_fractions(result: PlatformResult) -> Dict[str, float]:
+    """Per-component share of the total request latency for one run."""
+    return result.breakdown_fractions()
+
+
+def mean(values: Iterable[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def ordering_satisfied(scores: Mapping[str, float], order: Sequence[str]) -> bool:
+    """Check that ``scores`` ranks the given names in non-increasing order."""
+    chain = [scores[name] for name in order if name in scores]
+    return all(a >= b for a, b in zip(chain, chain[1:]))

@@ -1,0 +1,142 @@
+"""Device-level power and energy modelling.
+
+Power is a first-order motivation of the paper (Figures 3a/3b): GPU DRAM has
+both the lowest density and the highest power per GB, while Z-NAND is densest
+and most power-efficient.  This module turns the per-technology constants and a
+platform's measured activity into power (static + dynamic) and energy numbers,
+so the examples and benches can quantify ZnG's power advantage.
+
+The model is intentionally simple and transparent:
+
+* **Static power** scales with provisioned capacity at the technology's
+  ``power_w_per_gb`` rate (this is the number Figure 3b reports).
+* **Dynamic energy** is charged per operation: a fixed energy per DRAM/Optane
+  access, and per-Z-NAND read/program/erase energies derived from typical SLC
+  NAND figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.config import (
+    DRAMTechnology,
+    GDDR5,
+    GPU_FREQ_HZ,
+    PlatformConfig,
+    ZNAND_TECH,
+    default_config,
+)
+
+
+# Per-operation dynamic energies (nano-joules).  Representative SLC Z-NAND and
+# DRAM figures; only relative magnitudes matter for the comparison.
+DRAM_ACCESS_ENERGY_NJ = 2.0
+OPTANE_ACCESS_ENERGY_NJ = 8.0
+ZNAND_READ_ENERGY_NJ = 30.0
+ZNAND_PROGRAM_ENERGY_NJ = 150.0
+ZNAND_ERASE_ENERGY_NJ = 2000.0
+
+
+@dataclass
+class PowerBreakdown:
+    """Static/dynamic power and total energy of a device over a run."""
+
+    name: str
+    capacity_gb: float
+    static_power_w: float
+    dynamic_energy_j: float
+    runtime_s: float
+
+    @property
+    def dynamic_power_w(self) -> float:
+        return self.dynamic_energy_j / self.runtime_s if self.runtime_s > 0 else 0.0
+
+    @property
+    def total_power_w(self) -> float:
+        return self.static_power_w + self.dynamic_power_w
+
+    @property
+    def static_energy_j(self) -> float:
+        return self.static_power_w * self.runtime_s
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.static_energy_j + self.dynamic_energy_j
+
+    @property
+    def power_per_gb(self) -> float:
+        return self.total_power_w / self.capacity_gb if self.capacity_gb else 0.0
+
+
+def technology_static_power(technology: DRAMTechnology, capacity_gb: float) -> float:
+    """Static power of ``capacity_gb`` of a memory technology (Figure 3b)."""
+    return technology.power_w_per_gb * capacity_gb
+
+
+def dram_subsystem_power(
+    technology: DRAMTechnology,
+    capacity_gb: float,
+    accesses: int,
+    runtime_cycles: float,
+    access_energy_nj: float = DRAM_ACCESS_ENERGY_NJ,
+) -> PowerBreakdown:
+    """Power/energy of a DRAM- or Optane-like subsystem."""
+    runtime_s = runtime_cycles / GPU_FREQ_HZ if runtime_cycles > 0 else 0.0
+    dynamic_energy_j = accesses * access_energy_nj * 1e-9
+    return PowerBreakdown(
+        name=technology.name,
+        capacity_gb=capacity_gb,
+        static_power_w=technology_static_power(technology, capacity_gb),
+        dynamic_energy_j=dynamic_energy_j,
+        runtime_s=runtime_s,
+    )
+
+
+def znand_power(
+    capacity_gb: float,
+    reads: int,
+    programs: int,
+    erases: int,
+    runtime_cycles: float,
+) -> PowerBreakdown:
+    """Power/energy of the Z-NAND array from its operation counts."""
+    runtime_s = runtime_cycles / GPU_FREQ_HZ if runtime_cycles > 0 else 0.0
+    dynamic_energy_j = (
+        reads * ZNAND_READ_ENERGY_NJ
+        + programs * ZNAND_PROGRAM_ENERGY_NJ
+        + erases * ZNAND_ERASE_ENERGY_NJ
+    ) * 1e-9
+    return PowerBreakdown(
+        name="Z-NAND",
+        capacity_gb=capacity_gb,
+        static_power_w=technology_static_power(ZNAND_TECH, capacity_gb),
+        dynamic_energy_j=dynamic_energy_j,
+        runtime_s=runtime_s,
+    )
+
+
+def compare_static_power_per_gb(
+    capacity_gb: float = 1.0,
+    config: Optional[PlatformConfig] = None,
+) -> Dict[str, float]:
+    """Static W/GB for each technology (the Figure 3b comparison)."""
+    from repro.config import DRAM_TECHNOLOGIES
+
+    return {name: tech.power_w_per_gb for name, tech in DRAM_TECHNOLOGIES.items()}
+
+
+def gpu_dram_vs_znand_capacity(config: Optional[PlatformConfig] = None) -> Dict[str, float]:
+    """Provisionable capacity at equal power budget: GDDR5 vs Z-NAND.
+
+    Illustrates the density/power argument: for a fixed power budget Z-NAND
+    provisions orders of magnitude more capacity than GDDR5.
+    """
+    cfg = config or default_config()
+    _ = cfg
+    budget_w = 100.0
+    return {
+        "GDDR5": budget_w / GDDR5.power_w_per_gb,
+        "Z-NAND": budget_w / ZNAND_TECH.power_w_per_gb,
+    }

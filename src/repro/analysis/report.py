@@ -1,0 +1,42 @@
+"""Plain-text rendering of figure/table data (used by the examples and EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Union
+
+Number = Union[int, float]
+
+
+def format_figure_table(
+    title: str,
+    rows: Mapping[str, Union[Number, Mapping[str, Number]]],
+    value_format: str = "{:.3f}",
+) -> str:
+    """Render a figure's data as an aligned text table.
+
+    ``rows`` is either ``{row: value}`` or ``{row: {column: value}}``.
+    """
+    lines = [title, "=" * len(title)]
+    if not rows:
+        lines.append("(no data)")
+        return "\n".join(lines)
+
+    first = next(iter(rows.values()))
+    if isinstance(first, Mapping):
+        columns = list(first.keys())
+        header = f"{'':24s}" + "".join(f"{c:>16s}" for c in columns)
+        lines.append(header)
+        for row_name, values in rows.items():
+            cells = "".join(
+                f"{value_format.format(values.get(c, float('nan'))):>16s}" for c in columns
+            )
+            lines.append(f"{row_name:24s}{cells}")
+    else:
+        for row_name, value in rows.items():
+            lines.append(f"{row_name:24s}{value_format.format(value):>16s}")
+    return "\n".join(lines)
+
+
+def render_report(sections: Sequence[str]) -> str:
+    """Join rendered sections into one report string."""
+    return "\n\n".join(sections) + "\n"

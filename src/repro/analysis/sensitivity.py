@@ -1,0 +1,112 @@
+"""Parameter sweeps over ZnG's design knobs.
+
+Centralises the design-space exploration the paper performs informally: sweep
+one configuration parameter, hold the rest at Table I defaults, and report the
+resulting IPC / bandwidth / hit-rate.  The ablation benches use these helpers,
+and an example plots them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional
+
+from repro.config import PlatformConfig, default_config
+from repro.platforms.base import PlatformResult
+from repro.platforms.zng import ZnGPlatform, ZnGVariant
+from repro.workloads.multiapp import MultiAppWorkload, build_mix
+
+
+def _default_mix(scale: float) -> MultiAppWorkload:
+    return build_mix("betw", "back", scale=scale, seed=1, warps_per_sm=12,
+                     memory_instructions_per_warp=96)
+
+
+def _run(config: PlatformConfig, mix: MultiAppWorkload, variant: ZnGVariant) -> PlatformResult:
+    return ZnGPlatform(variant, config).run(mix.combined)
+
+
+def sweep_registers_per_plane(
+    values: Optional[List[int]] = None,
+    scale: float = 0.25,
+) -> Dict[int, PlatformResult]:
+    """Sweep the number of flash registers per plane (write-cache size)."""
+    values = values or [2, 4, 8, 16, 32]
+    mix = _default_mix(scale)
+    results: Dict[int, PlatformResult] = {}
+    for registers in values:
+        base = default_config()
+        config = base.copy(
+            register_cache=replace(base.register_cache, registers_per_plane=registers)
+        )
+        results[registers] = _run(config, mix, ZnGVariant.FULL)
+    return results
+
+
+def sweep_l2_size(
+    sizes_mb: Optional[List[int]] = None,
+    scale: float = 0.25,
+) -> Dict[int, PlatformResult]:
+    """Sweep the STT-MRAM L2 capacity."""
+    sizes_mb = sizes_mb or [6, 12, 24, 48]
+    mix = _default_mix(scale)
+    results: Dict[int, PlatformResult] = {}
+    for size_mb in sizes_mb:
+        base = default_config()
+        config = base.copy(
+            stt_mram=replace(base.stt_mram, size_bytes=size_mb * 1024 * 1024)
+        )
+        results[size_mb] = _run(config, mix, ZnGVariant.FULL)
+    return results
+
+
+def sweep_prefetch_threshold(
+    thresholds: Optional[List[int]] = None,
+    scale: float = 0.25,
+) -> Dict[int, PlatformResult]:
+    """Sweep the predictor cutoff threshold for issuing a prefetch."""
+    thresholds = thresholds or [1, 4, 8, 12, 15]
+    mix = _default_mix(scale)
+    results: Dict[int, PlatformResult] = {}
+    for threshold in thresholds:
+        base = default_config()
+        config = base.copy(
+            prefetch=replace(base.prefetch, prefetch_threshold=threshold)
+        )
+        results[threshold] = _run(config, mix, ZnGVariant.FULL)
+    return results
+
+
+def sweep_interconnect(
+    kinds: Optional[List[str]] = None,
+    scale: float = 0.25,
+) -> Dict[str, PlatformResult]:
+    """Compare the register interconnects (swnet / fcnet / nif)."""
+    kinds = kinds or ["swnet", "fcnet", "nif"]
+    mix = _default_mix(scale)
+    results: Dict[str, PlatformResult] = {}
+    for kind in kinds:
+        base = default_config()
+        config = base.copy(
+            register_cache=replace(base.register_cache, interconnect=kind)
+        )
+        results[kind] = _run(config, mix, ZnGVariant.FULL)
+    return results
+
+
+def generic_sweep(
+    apply: Callable[[PlatformConfig, object], PlatformConfig],
+    values: List[object],
+    scale: float = 0.25,
+    variant: ZnGVariant = ZnGVariant.FULL,
+) -> Dict[object, PlatformResult]:
+    """Run an arbitrary single-parameter sweep.
+
+    ``apply(base_config, value)`` returns a config with the parameter set.
+    """
+    mix = _default_mix(scale)
+    results: Dict[object, PlatformResult] = {}
+    for value in values:
+        config = apply(default_config(), value)
+        results[value] = _run(config, mix, variant)
+    return results

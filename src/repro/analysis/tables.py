@@ -1,0 +1,67 @@
+"""Reproduction of the paper's configuration and workload tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.config import PlatformConfig, default_config
+from repro.workloads.suites import ALL_WORKLOADS
+
+
+def table_1_configuration(config: Optional[PlatformConfig] = None) -> Dict[str, Dict[str, object]]:
+    """Table I: the system configuration of ZnG, grouped by subsystem."""
+    cfg = config or default_config()
+    gpu, znand, stt, optane = cfg.gpu, cfg.znand, cfg.stt_mram, cfg.optane
+    return {
+        "GPU": {
+            "SMs": gpu.num_sms,
+            "frequency_ghz": gpu.frequency_hz / 1e9,
+            "max_warps_per_sm": gpu.max_warps_per_sm,
+            "l1_cache": f"{gpu.l1_size_bytes // 1024}KB, {gpu.l1_assoc}-way, {gpu.l1_sets}-set",
+            "l2_cache": f"{gpu.l2_size_bytes // (1024 * 1024)}MB, {gpu.l2_banks} banks, {gpu.l2_assoc}-way",
+        },
+        "Z-NAND array": {
+            "channels": znand.channels,
+            "dies_per_package": znand.dies_per_package,
+            "planes_per_die": znand.planes_per_die,
+            "blocks_per_plane": znand.blocks_per_plane,
+            "pages_per_block": znand.pages_per_block,
+            "cell_type": znand.cell_type,
+            "interface_mt_s": znand.interface_mt_per_s,
+            "read_latency_us": znand.read_latency_us,
+            "program_latency_us": znand.program_latency_us,
+            "registers_per_plane": znand.registers_per_plane,
+            "io_ports_per_package": znand.io_ports_per_package,
+            "capacity_gb": znand.total_capacity_bytes / (1 << 30),
+        },
+        "STT-MRAM L2": {
+            "size_mb": stt.size_bytes // (1024 * 1024),
+            "read_latency_cycles": stt.read_latency_cycles,
+            "write_latency_cycles": stt.write_latency_cycles,
+        },
+        "Flash network": {
+            "type": "mesh",
+            "bus_width_bytes": znand.flash_network_bus_bytes,
+        },
+        "Optane DC PMM": {
+            "tRCD_ns": optane.t_rcd_ns,
+            "tCL_ns": optane.t_cl_ns,
+            "tRP_ns": optane.t_rp_ns,
+            "controllers": optane.controllers,
+        },
+    }
+
+
+def table_2_workloads() -> List[Dict[str, object]]:
+    """Table II: workload names, suites, read ratios and kernel counts."""
+    rows: List[Dict[str, object]] = []
+    for name, spec in sorted(ALL_WORKLOADS.items()):
+        rows.append(
+            {
+                "workload": name,
+                "suite": spec.suite,
+                "read_ratio": spec.read_ratio,
+                "kernels": spec.kernels,
+            }
+        )
+    return rows

@@ -1,0 +1,433 @@
+"""Configuration objects for the ZnG reproduction.
+
+Every constant in this module is taken from Table I of the paper (or from the
+text surrounding it) and expressed in the units used throughout the simulator:
+
+* time is measured in **GPU core cycles** at ``GPU_FREQ_HZ`` (1.2 GHz),
+* data sizes are in bytes,
+* bandwidths are in bytes per second (converted to bytes/cycle when needed).
+
+The configuration dataclasses are intentionally plain: they carry numbers, not
+behaviour.  Components receive a config object and derive their timing from it
+so that sensitivity studies (larger L2, more registers, wider flash network)
+only need to change a config value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+# ---------------------------------------------------------------------------
+# Global clock
+# ---------------------------------------------------------------------------
+
+#: GPU core frequency (Table I: SM/freq. 16 / 1.2 GHz).
+GPU_FREQ_HZ: float = 1.2e9
+
+#: Convenience: one nanosecond expressed in GPU cycles.
+CYCLES_PER_NS: float = GPU_FREQ_HZ / 1e9
+
+
+def ns_to_cycles(nanoseconds: float) -> float:
+    """Convert a latency in nanoseconds to GPU core cycles."""
+    return nanoseconds * CYCLES_PER_NS
+
+
+def us_to_cycles(microseconds: float) -> float:
+    """Convert a latency in microseconds to GPU core cycles."""
+    return ns_to_cycles(microseconds * 1e3)
+
+
+def bandwidth_to_bytes_per_cycle(bytes_per_second: float) -> float:
+    """Convert a bandwidth in bytes/second to bytes per GPU cycle."""
+    return bytes_per_second / GPU_FREQ_HZ
+
+
+# ---------------------------------------------------------------------------
+# GPU configuration (Table I, left column)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GPUConfig:
+    """GTX580-like GPU used by the paper (MacSim configuration)."""
+
+    num_sms: int = 16
+    frequency_hz: float = GPU_FREQ_HZ
+    max_warps_per_sm: int = 80
+    threads_per_warp: int = 32
+
+    # L1 data cache: 1-cycle, 64-set, 6-way, 48KB, LRU, private.
+    l1_size_bytes: int = 48 * 1024
+    l1_assoc: int = 6
+    l1_sets: int = 64
+    l1_line_bytes: int = 128
+    l1_latency_cycles: int = 1
+    l1_mshr_entries: int = 32
+
+    # Shared L2 cache: 1-cycle, 6 banks, 1024-set, 8-way, 6MB, LRU.
+    l2_size_bytes: int = 6 * 1024 * 1024
+    l2_assoc: int = 8
+    l2_banks: int = 6
+    l2_line_bytes: int = 128
+    l2_read_latency_cycles: int = 1
+    l2_write_latency_cycles: int = 1
+    l2_mshr_entries_per_bank: int = 64
+
+    # Interconnect between SMs and L2 banks.
+    noc_latency_cycles: int = 20
+    noc_bytes_per_cycle: float = 384.0  # 384-bit bus per direction, generous
+
+    # Memory-side request size (the paper: "memory access size in GPU is 128B").
+    memory_request_bytes: int = 128
+
+    # TLB / MMU.
+    tlb_entries: int = 512
+    page_size_bytes: int = 4096
+    page_walk_threads: int = 32
+    page_walk_latency_cycles: int = 400  # "memory accesses cost hundreds of cycles"
+    page_walk_cache_entries: int = 256
+    page_walk_cache_latency_cycles: int = 4
+
+    @property
+    def total_max_warps(self) -> int:
+        return self.num_sms * self.max_warps_per_sm
+
+
+# ---------------------------------------------------------------------------
+# DRAM technology models (Figures 1b / 3 / 4c)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DRAMTechnology:
+    """Per-technology constants used in the motivation figures."""
+
+    name: str
+    package_capacity_gb: float
+    power_w_per_gb: float
+    peak_bandwidth_gbps: float  # accumulated bandwidth of the configuration
+    access_latency_ns: float
+
+
+#: GPU DRAM: 12 packages on a 384-bit bus through 6 memory controllers.
+GDDR5 = DRAMTechnology(
+    name="GDDR5",
+    package_capacity_gb=1.0,
+    power_w_per_gb=5.00,
+    peak_bandwidth_gbps=341.3,
+    access_latency_ns=100.0,
+)
+
+DDR4 = DRAMTechnology(
+    name="DDR4",
+    package_capacity_gb=2.0,
+    power_w_per_gb=0.38,
+    peak_bandwidth_gbps=25.6,
+    access_latency_ns=80.0,
+)
+
+LPDDR4 = DRAMTechnology(
+    name="LPDDR4",
+    package_capacity_gb=4.0,
+    power_w_per_gb=0.20,
+    peak_bandwidth_gbps=11.2,
+    access_latency_ns=120.0,
+)
+
+#: Z-NAND package constants used in the density/power comparison (Fig. 3).
+ZNAND_TECH = DRAMTechnology(
+    name="Z-NAND",
+    package_capacity_gb=64.0,
+    power_w_per_gb=0.02,
+    peak_bandwidth_gbps=3.2,
+    access_latency_ns=3000.0,
+)
+
+DRAM_TECHNOLOGIES: Dict[str, DRAMTechnology] = {
+    t.name: t for t in (GDDR5, DDR4, LPDDR4, ZNAND_TECH)
+}
+
+
+# ---------------------------------------------------------------------------
+# Z-NAND / SSD configuration (Table I, middle column)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ZNANDConfig:
+    """Z-NAND flash backbone of the 800GB ZSSD-like device."""
+
+    channels: int = 16
+    packages_per_channel: int = 1
+    dies_per_package: int = 8
+    planes_per_die: int = 8
+    blocks_per_plane: int = 1024
+    pages_per_block: int = 384
+    page_size_bytes: int = 4096
+    cell_type: str = "SLC"
+
+    # Z-NAND timing (Section II-B): read 3us, program 100us; erase is a block
+    # operation in the low hundreds of microseconds for SLC.
+    read_latency_us: float = 3.0
+    program_latency_us: float = 100.0
+    erase_latency_us: float = 500.0
+
+    # Flash interface: ONFI 800 MT/s, 1 byte wide for a conventional channel.
+    interface_mt_per_s: float = 800.0
+    channel_bus_bytes: int = 1
+
+    # Cache/data registers per plane (Table I: register 2/8 per plane; the
+    # baseline Z-NAND exposes 2, ZnG raises it to 8).
+    registers_per_plane: int = 2
+
+    # I/O ports per package and the width of the NiF / mesh flash network.
+    io_ports_per_package: int = 2
+    flash_network_bus_bytes: int = 8
+    flash_network_type: str = "bus"  # "bus" (conventional) or "mesh" (ZnG)
+
+    # Over-provisioning used for log blocks by the zero-overhead FTL.
+    overprovisioning_ratio: float = 0.07
+
+    # Endurance (Section II-B): Z-NAND sustains 100k P/E cycles.
+    pe_cycle_limit: int = 100_000
+
+    @property
+    def planes_per_channel(self) -> int:
+        return self.packages_per_channel * self.dies_per_package * self.planes_per_die
+
+    @property
+    def total_planes(self) -> int:
+        return self.channels * self.planes_per_channel
+
+    @property
+    def plane_capacity_bytes(self) -> int:
+        return self.blocks_per_plane * self.pages_per_block * self.page_size_bytes
+
+    @property
+    def total_capacity_bytes(self) -> int:
+        return self.total_planes * self.plane_capacity_bytes
+
+    @property
+    def read_latency_cycles(self) -> float:
+        return us_to_cycles(self.read_latency_us)
+
+    @property
+    def program_latency_cycles(self) -> float:
+        return us_to_cycles(self.program_latency_us)
+
+    @property
+    def erase_latency_cycles(self) -> float:
+        return us_to_cycles(self.erase_latency_us)
+
+    @property
+    def channel_bandwidth_bytes_per_s(self) -> float:
+        """Bandwidth of one conventional ONFI channel."""
+        return self.interface_mt_per_s * 1e6 * self.channel_bus_bytes
+
+    @property
+    def flash_network_bandwidth_bytes_per_s(self) -> float:
+        """Bandwidth of one link of the widened ZnG flash network."""
+        return self.interface_mt_per_s * 1e6 * self.flash_network_bus_bytes
+
+    @property
+    def plane_read_bandwidth_bytes_per_s(self) -> float:
+        """Sustained read bandwidth of a single plane (page / read latency)."""
+        return self.page_size_bytes / (self.read_latency_us * 1e-6)
+
+    @property
+    def accumulated_read_bandwidth_bytes_per_s(self) -> float:
+        """Accumulated flash-array read bandwidth across all planes."""
+        return self.plane_read_bandwidth_bytes_per_s * self.total_planes
+
+
+# ---------------------------------------------------------------------------
+# SSD engine (HybridGPU / Hetero) configuration
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SSDEngineConfig:
+    """Embedded SSD controller used by conventional SSDs and HybridGPU.
+
+    The paper attributes ~67% of HybridGPU's access latency to the SSD engine:
+    2-5 low-power embedded cores performing FTL at a limited request rate, and
+    a single-package DRAM buffer on a 32-bit bus.
+    """
+
+    embedded_cores: int = 4
+    ftl_lookup_latency_ns: float = 500.0
+    requests_per_core_per_us: float = 10.0  # limited compute for address translation
+
+    dram_buffer_bytes: int = 1 * 1024 * 1024 * 1024
+    dram_buffer_bus_bytes: int = 4  # 32-bit data bus
+    dram_buffer_mt_per_s: float = 2400.0
+    dram_buffer_latency_ns: float = 60.0
+
+    # Request dispatcher between the GPU network and the SSD controller.
+    dispatcher_latency_ns: float = 100.0
+    dispatcher_requests_per_us: float = 64.0
+
+    @property
+    def dram_buffer_bandwidth_bytes_per_s(self) -> float:
+        return self.dram_buffer_mt_per_s * 1e6 * self.dram_buffer_bus_bytes
+
+    @property
+    def engine_service_ns(self) -> float:
+        """Per-request core occupancy (throughput limit of one embedded core)."""
+        return 1e3 / self.requests_per_core_per_us
+
+    @property
+    def engine_throughput_bytes_per_s(self) -> float:
+        """Peak request-processing bandwidth of the engine at 128 B requests."""
+        requests_per_s = self.embedded_cores * self.requests_per_core_per_us * 1e6
+        return requests_per_s * 128
+
+
+# ---------------------------------------------------------------------------
+# STT-MRAM L2 (ZnG read optimisation) configuration
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class STTMRAMConfig:
+    """ZnG's enlarged, read-optimised shared L2 cache (Table I, right column)."""
+
+    size_bytes: int = 24 * 1024 * 1024
+    read_latency_cycles: int = 1
+    write_latency_cycles: int = 5
+    banks: int = 6
+    assoc: int = 8
+    line_bytes: int = 128
+
+
+# ---------------------------------------------------------------------------
+# Optane DC PMM configuration (the Optane baseline platform)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class OptaneConfig:
+    """Optane DC PMM latency model (Table I: tRCD/tCL 190/8.9ns, tRP 763ns)."""
+
+    controllers: int = 6
+    t_rcd_ns: float = 190.0
+    t_cl_ns: float = 8.9
+    t_rp_ns: float = 763.0
+    read_bandwidth_gbps_total: float = 39.0
+    write_bandwidth_gbps_total: float = 13.0
+    access_granularity_bytes: int = 256
+
+    @property
+    def read_latency_ns(self) -> float:
+        return self.t_rcd_ns + self.t_cl_ns
+
+    @property
+    def write_latency_ns(self) -> float:
+        return self.t_rp_ns
+
+
+# ---------------------------------------------------------------------------
+# Host / PCIe configuration (Hetero and GPU-SSD baselines)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class HostConfig:
+    """Host-side path used when page faults are serviced by the CPU."""
+
+    pcie_bandwidth_gbps: float = 15.75  # PCIe 3.0 x16 effective
+    pcie_latency_us: float = 1.0
+    nvme_read_latency_us: float = 10.0
+    nvme_bandwidth_gbps: float = 3.2
+    page_fault_handling_us: float = 20.0  # interrupt + driver + user/kernel copies
+    host_copy_bandwidth_gbps: float = 12.0
+
+
+# ---------------------------------------------------------------------------
+# ZnG mechanism configuration (Section IV)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PrefetchConfig:
+    """Dynamic read prefetcher (Section IV-B)."""
+
+    predictor_entries: int = 512
+    warps_tracked_per_entry: int = 5
+    counter_bits: int = 4
+    prefetch_threshold: int = 12
+    initial_prefetch_bytes: int = 4096
+    min_prefetch_bytes: int = 128
+    max_prefetch_bytes: int = 4096
+    granularity_step_bytes: int = 1024
+    high_waste_threshold: float = 0.3
+    low_waste_threshold: float = 0.05
+    monitor_window_evictions: int = 64
+    #: Which read-prefetch policy the read optimisation uses: "dynamic" (ZnG),
+    #: "next_line", "stride" or "none".
+    policy: str = "dynamic"
+
+
+@dataclass
+class RegisterCacheConfig:
+    """Fully-associative flash-register write cache (Section IV-C)."""
+
+    registers_per_plane: int = 8
+    register_bytes: int = 4096
+    interconnect: str = "nif"  # "swnet", "fcnet" or "nif"
+    thrashing_window: int = 256
+    thrashing_eviction_ratio: float = 0.5
+    l2_pinned_lines: int = 2048  # lines pinned in L2 when thrashing is detected
+    local_network_bytes_per_cycle: float = 8.0
+
+
+@dataclass
+class FTLConfig:
+    """Zero-overhead FTL structure sizes (Section IV-A)."""
+
+    dbmt_size_bytes: int = 80 * 1024
+    data_blocks_per_log_block: int = 8
+    gc_free_block_threshold: float = 0.05
+    wear_leveling: bool = True
+
+
+# ---------------------------------------------------------------------------
+# Top-level platform configuration
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PlatformConfig:
+    """Everything a GPU-SSD platform needs, bundled."""
+
+    gpu: GPUConfig = field(default_factory=GPUConfig)
+    znand: ZNANDConfig = field(default_factory=ZNANDConfig)
+    ssd_engine: SSDEngineConfig = field(default_factory=SSDEngineConfig)
+    stt_mram: STTMRAMConfig = field(default_factory=STTMRAMConfig)
+    optane: OptaneConfig = field(default_factory=OptaneConfig)
+    host: HostConfig = field(default_factory=HostConfig)
+    prefetch: PrefetchConfig = field(default_factory=PrefetchConfig)
+    register_cache: RegisterCacheConfig = field(default_factory=RegisterCacheConfig)
+    ftl: FTLConfig = field(default_factory=FTLConfig)
+
+    def copy(self, **overrides) -> "PlatformConfig":
+        """Return a shallow copy with selected sub-configs replaced."""
+        return replace(self, **overrides)
+
+
+def default_config() -> PlatformConfig:
+    """The Table I configuration used across the evaluation."""
+    return PlatformConfig()
+
+
+def zng_config() -> PlatformConfig:
+    """The full ZnG configuration: mesh flash network, 8 registers/plane."""
+    cfg = PlatformConfig()
+    cfg.znand = replace(
+        cfg.znand,
+        registers_per_plane=8,
+        flash_network_type="mesh",
+    )
+    return cfg

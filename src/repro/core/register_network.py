@@ -1,0 +1,170 @@
+"""Register interconnects: SWnet, FCnet and NiF (Section IV-C, Figs 8c/9).
+
+Grouping the flash registers of a package into one fully-associative cache
+means a register's data may have to reach a plane it is not physically
+attached to.  Three interconnects are modelled:
+
+* **SWnet** — no hardware change: the flash controller copies the data out of
+  the register over the flash network, into its buffer, and back into a
+  register local to the destination plane.  The copy consumes flash-network
+  bandwidth (two channel traversals in the worst case).
+* **FCnet** — a fully-connected point-to-point network inside the package:
+  every register reaches every plane and the I/O port directly.  Fast, but
+  the wiring cost is prohibitive (quadratic in registers x planes); we track
+  that cost so the ablation bench can report it.
+* **NiF** (Network-in-Flash) — ZnG's design: per-plane register groups hang
+  off two shared buses (an I/O path and a data path) plus a small local
+  network between the designated *data registers* of each group.  Remote
+  writes hop register -> local data register -> remote data register -> plane
+  without touching the flash network.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional
+
+from repro.config import RegisterCacheConfig, ZNANDConfig
+from repro.sim.engine import BandwidthResource, Resource
+from repro.ssd.znand import ZNANDArray
+
+
+class RegisterNetwork(ABC):
+    """Moves a register's page to a (possibly remote) plane of the same package."""
+
+    name: str = "abstract"
+
+    def __init__(self, array: ZNANDArray, config: RegisterCacheConfig) -> None:
+        self.array = array
+        self.config = config
+        self.znand: ZNANDConfig = array.config
+        self.planes_per_package = (
+            self.znand.dies_per_package * self.znand.planes_per_die
+        )
+        self.local_transfers = 0
+        self.remote_transfers = 0
+
+    @abstractmethod
+    def transfer(
+        self, package: int, source_plane: int, dest_plane: int, num_bytes: int, now: float
+    ) -> float:
+        """Move ``num_bytes`` from a register on ``source_plane`` to ``dest_plane``."""
+
+    def wire_cost_units(self) -> float:
+        """Relative wiring cost (point-to-point links) of the interconnect."""
+        return 0.0
+
+    def record(self, source_plane: int, dest_plane: int) -> None:
+        if source_plane == dest_plane:
+            self.local_transfers += 1
+        else:
+            self.remote_transfers += 1
+
+
+class SWnetRegisterNetwork(RegisterNetwork):
+    """Software solution: remote placement goes through the flash network."""
+
+    name = "swnet"
+
+    def transfer(
+        self, package: int, source_plane: int, dest_plane: int, num_bytes: int, now: float
+    ) -> float:
+        self.record(source_plane, dest_plane)
+        if source_plane == dest_plane:
+            return now  # data is already in a register attached to the plane
+        # Copy out over the channel to the controller buffer and back in.
+        channel = package % self.znand.channels
+        after_out = self.array.network.transfer(channel, num_bytes, now)
+        after_in = self.array.network.transfer(channel, num_bytes, after_out)
+        return after_in
+
+    def wire_cost_units(self) -> float:
+        return 0.0  # no added hardware
+
+
+class FCnetRegisterNetwork(RegisterNetwork):
+    """Fully-connected register network: direct, parallel, expensive to wire."""
+
+    name = "fcnet"
+
+    #: One-hop latency of the dedicated point-to-point link, in cycles.
+    LINK_LATENCY_CYCLES = 2.0
+
+    def transfer(
+        self, package: int, source_plane: int, dest_plane: int, num_bytes: int, now: float
+    ) -> float:
+        self.record(source_plane, dest_plane)
+        if source_plane == dest_plane:
+            return now
+        return now + self.LINK_LATENCY_CYCLES
+
+    def wire_cost_units(self) -> float:
+        registers = self.config.registers_per_plane * self.planes_per_package
+        endpoints = self.planes_per_package + self.znand.io_ports_per_package
+        return float(registers * endpoints)
+
+
+class NiFRegisterNetwork(RegisterNetwork):
+    """Network-in-Flash: shared I/O path + shared data path + local network."""
+
+    name = "nif"
+
+    def __init__(self, array: ZNANDArray, config: RegisterCacheConfig) -> None:
+        super().__init__(array, config)
+        packages = self.znand.channels * self.znand.packages_per_channel
+        # One local network per package connecting the per-plane data registers.
+        self._local_networks: Dict[int, BandwidthResource] = {
+            pkg: BandwidthResource(
+                name=f"nif_local_net_pkg{pkg}",
+                bytes_per_cycle=config.local_network_bytes_per_cycle,
+                ports=1,
+                fixed_latency=2.0,
+            )
+            for pkg in range(packages)
+        }
+        # Shared data-path bus per plane group (one per plane here).
+        self._data_paths: Dict[int, Resource] = {}
+
+    def _data_path(self, package: int, plane: int) -> Resource:
+        key = package * self.planes_per_package + plane
+        if key not in self._data_paths:
+            self._data_paths[key] = Resource(f"nif_data_path_{key}", ports=1)
+        return self._data_paths[key]
+
+    def transfer(
+        self, package: int, source_plane: int, dest_plane: int, num_bytes: int, now: float
+    ) -> float:
+        self.record(source_plane, dest_plane)
+        if source_plane == dest_plane:
+            # Local: the register writes straight over its shared data path.
+            path = self._data_path(package, dest_plane)
+            occupancy = num_bytes / self.config.local_network_bytes_per_cycle
+            start = path.acquire(now, occupancy)
+            return start + occupancy
+        # Remote: register -> local data register -> (local network) -> remote
+        # data register -> remote plane.  The flash network is *not* used.
+        local_net = self._local_networks[package % len(self._local_networks)]
+        after_hop = local_net.transfer(now, num_bytes)
+        path = self._data_path(package, dest_plane)
+        occupancy = num_bytes / self.config.local_network_bytes_per_cycle
+        start = path.acquire(after_hop, occupancy)
+        return start + occupancy
+
+    def wire_cost_units(self) -> float:
+        # Two buses per plane group plus one local-network port per group.
+        return float(self.planes_per_package * 3)
+
+
+def build_register_network(
+    array: ZNANDArray, config: Optional[RegisterCacheConfig] = None
+) -> RegisterNetwork:
+    """Factory selecting the interconnect named in the configuration."""
+    config = config or RegisterCacheConfig()
+    kind = config.interconnect.lower()
+    if kind == "swnet":
+        return SWnetRegisterNetwork(array, config)
+    if kind == "fcnet":
+        return FCnetRegisterNetwork(array, config)
+    if kind == "nif":
+        return NiFRegisterNetwork(array, config)
+    raise ValueError(f"unknown register interconnect {config.interconnect!r}")

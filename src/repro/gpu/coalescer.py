@@ -1,0 +1,68 @@
+"""The per-SM coalescing unit.
+
+Before a warp's 32 per-thread accesses reach the L1D cache, the coalescing
+unit merges them into as few 128 B memory requests as possible (Section II-A).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.sim.request import AccessType, MemoryRequest
+
+
+class CoalescingUnit:
+    """Merges per-thread addresses of one warp instruction into 128 B requests."""
+
+    def __init__(self, request_bytes: int = 128, threads_per_warp: int = 32) -> None:
+        if request_bytes <= 0:
+            raise ValueError("request size must be positive")
+        self.request_bytes = request_bytes
+        self.threads_per_warp = threads_per_warp
+        self.instructions_coalesced = 0
+        self.requests_generated = 0
+
+    def coalesce_addresses(self, addresses: Sequence[int]) -> List[int]:
+        """Collapse thread addresses into unique 128 B-aligned segment addresses."""
+        segments = sorted(
+            {(address // self.request_bytes) * self.request_bytes for address in addresses}
+        )
+        return segments
+
+    def coalesce(
+        self,
+        addresses: Sequence[int],
+        access: AccessType,
+        warp_id: int = 0,
+        sm_id: int = 0,
+        pc: int = 0,
+        issue_cycle: float = 0.0,
+    ) -> List[MemoryRequest]:
+        """Build coalesced :class:`MemoryRequest` objects for one warp instruction."""
+        if not addresses:
+            return []
+        self.instructions_coalesced += 1
+        requests = [
+            MemoryRequest(
+                address=segment,
+                size=self.request_bytes,
+                access=access,
+                warp_id=warp_id,
+                sm_id=sm_id,
+                pc=pc,
+                issue_cycle=issue_cycle,
+            )
+            for segment in self.coalesce_addresses(addresses)
+        ]
+        self.requests_generated += len(requests)
+        return requests
+
+    def coalescing_efficiency(self) -> float:
+        """Average number of requests per coalesced warp instruction."""
+        if self.instructions_coalesced == 0:
+            return 0.0
+        return self.requests_generated / self.instructions_coalesced
+
+    def reset(self) -> None:
+        self.instructions_coalesced = 0
+        self.requests_generated = 0

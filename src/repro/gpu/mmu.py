@@ -1,0 +1,163 @@
+"""GPU memory-management unit (Section II-A).
+
+The MMU is a shared resource for all SMs.  It contains a highly-threaded page
+table walker (32 walk threads), a page-walk cache, and a page-fault handler
+that raises an interrupt to the host CPU when a page is not resident in GPU
+memory.  The ZnG zero-overhead FTL replaces the page table payload with DBMT
+entries; the MMU mechanics (TLB miss -> walk cache -> page walk) are shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.config import GPUConfig
+from repro.gpu.cache import SetAssociativeCache
+from repro.gpu.tlb import TLB
+from repro.sim.engine import Resource
+
+
+@dataclass
+class TranslationResult:
+    """Outcome of translating one virtual address."""
+
+    physical_address: int
+    latency_cycles: float
+    tlb_hit: bool
+    walk_cache_hit: bool = False
+    page_fault: bool = False
+
+
+class PageTable:
+    """A two-level page table mapping virtual pages to physical frames.
+
+    The payload stored per page is an opaque integer frame number; platforms
+    interpret it (DRAM frame, flash data-block number, ...).  Pages that are
+    not mapped trigger the page-fault path.
+    """
+
+    def __init__(self, page_size_bytes: int = 4096) -> None:
+        self.page_size_bytes = page_size_bytes
+        self._mapping: Dict[int, int] = {}
+        self._next_frame = 0
+
+    def map_page(self, virtual_page: int, frame: Optional[int] = None) -> int:
+        if frame is None:
+            frame = self._next_frame
+            self._next_frame += 1
+        self._mapping[virtual_page] = frame
+        return frame
+
+    def lookup(self, virtual_page: int) -> Optional[int]:
+        return self._mapping.get(virtual_page)
+
+    def is_mapped(self, virtual_page: int) -> bool:
+        return virtual_page in self._mapping
+
+    def unmap(self, virtual_page: int) -> None:
+        self._mapping.pop(virtual_page, None)
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+
+class MMU:
+    """Shared MMU with TLB, page-walk cache, threaded walker and fault handler."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        page_table: Optional[PageTable] = None,
+        fault_handler: Optional[Callable[[int, float], Tuple[int, float]]] = None,
+    ) -> None:
+        self.config = config
+        self.page_table = page_table or PageTable(config.page_size_bytes)
+        self.tlb = TLB(config.tlb_entries, config.page_size_bytes)
+        self.walk_cache = SetAssociativeCache(
+            name="page_walk_cache",
+            size_bytes=config.page_walk_cache_entries * 8,
+            assoc=4,
+            line_bytes=8,
+        )
+        # The page-table walker has a fixed number of concurrent walk threads.
+        self.walker = Resource("page_table_walker", ports=config.page_walk_threads)
+        self._fault_handler = fault_handler
+        # Statistics.
+        self.translations = 0
+        self.page_walks = 0
+        self.page_faults = 0
+
+    def set_fault_handler(
+        self, handler: Callable[[int, float], Tuple[int, float]]
+    ) -> None:
+        """Install the platform's page-fault service routine.
+
+        The handler receives ``(virtual_page, now)`` and returns
+        ``(frame, completion_cycle)``.
+        """
+        self._fault_handler = handler
+
+    def _physical_address(self, frame: int, virtual_address: int) -> int:
+        offset = virtual_address % self.config.page_size_bytes
+        return frame * self.config.page_size_bytes + offset
+
+    def translate(self, virtual_address: int, now: float) -> TranslationResult:
+        """Translate a virtual address, charging TLB/walk/fault latency."""
+        self.translations += 1
+        vpn = virtual_address // self.config.page_size_bytes
+
+        cached_frame = self.tlb.lookup(virtual_address)
+        if cached_frame is not None:
+            return TranslationResult(
+                physical_address=self._physical_address(cached_frame, virtual_address),
+                latency_cycles=1.0,
+                tlb_hit=True,
+            )
+
+        # TLB miss: a walk thread is allocated (Section II-A).
+        walk_cache_hit = self.walk_cache.lookup(vpn * 8)
+        walk_latency = (
+            self.config.page_walk_cache_latency_cycles
+            if walk_cache_hit
+            else self.config.page_walk_latency_cycles
+        )
+        start = self.walker.acquire(now, walk_latency)
+        completion = start + walk_latency
+        self.page_walks += 1
+        if not walk_cache_hit:
+            self.walk_cache.insert(vpn * 8)
+
+        frame = self.page_table.lookup(vpn)
+        page_fault = False
+        if frame is None:
+            page_fault = True
+            self.page_faults += 1
+            if self._fault_handler is None:
+                # Demand-zero mapping with no extra cost beyond the walk.
+                frame = self.page_table.map_page(vpn)
+            else:
+                frame, fault_done = self._fault_handler(vpn, completion)
+                self.page_table.map_page(vpn, frame)
+                completion = max(completion, fault_done)
+
+        self.tlb.insert(virtual_address, frame)
+        return TranslationResult(
+            physical_address=self._physical_address(frame, virtual_address),
+            latency_cycles=completion - now,
+            tlb_hit=False,
+            walk_cache_hit=walk_cache_hit,
+            page_fault=page_fault,
+        )
+
+    def preload(self, virtual_pages: Dict[int, int]) -> None:
+        """Bulk-install translations (used to set up read-only DBMT mappings)."""
+        for vpn, frame in virtual_pages.items():
+            self.page_table.map_page(vpn, frame)
+
+    def reset_statistics(self) -> None:
+        self.translations = 0
+        self.page_walks = 0
+        self.page_faults = 0
+        self.tlb.reset_statistics()
+        self.walk_cache.reset_statistics()

@@ -1,0 +1,86 @@
+"""Miss-status holding registers (MSHRs).
+
+Misses to the same cache line are merged onto an existing MSHR entry
+(secondary misses); a full MSHR back-pressures the pipeline, which we model
+by returning the time at which an entry frees up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class MSHREntry:
+    """One outstanding miss."""
+
+    line_address: int
+    issue_cycle: float
+    fill_cycle: float
+    merged_requests: int = 1
+
+
+class MSHR:
+    """A finite pool of outstanding-miss entries for one cache."""
+
+    def __init__(self, name: str, num_entries: int) -> None:
+        if num_entries <= 0:
+            raise ValueError("MSHR needs at least one entry")
+        self.name = name
+        self.num_entries = num_entries
+        self._entries: Dict[int, MSHREntry] = {}
+        self.primary_misses = 0
+        self.secondary_misses = 0
+        self.stalls = 0
+
+    def _expire(self, now: float) -> None:
+        """Retire entries whose fill has completed by ``now``."""
+        finished = [addr for addr, e in self._entries.items() if e.fill_cycle <= now]
+        for address in finished:
+            del self._entries[address]
+
+    def lookup(self, line_address: int, now: float) -> Optional[MSHREntry]:
+        """Return an in-flight entry covering ``line_address``, if any."""
+        self._expire(now)
+        return self._entries.get(line_address)
+
+    def allocate(
+        self, line_address: int, now: float, fill_cycle: float
+    ) -> Tuple[float, bool]:
+        """Allocate (or merge into) an entry for a miss.
+
+        Returns ``(ready_cycle, merged)``: the cycle at which the allocation
+        could be made (later than ``now`` if the MSHR was full) and whether
+        the miss was merged into an existing entry.
+        """
+        self._expire(now)
+        entry = self._entries.get(line_address)
+        if entry is not None:
+            entry.merged_requests += 1
+            self.secondary_misses += 1
+            return now, True
+
+        stall_until = now
+        if len(self._entries) >= self.num_entries:
+            # Structural hazard: wait until the earliest fill returns.
+            stall_until = min(e.fill_cycle for e in self._entries.values())
+            self.stalls += 1
+            self._expire(stall_until)
+        self._entries[line_address] = MSHREntry(
+            line_address=line_address,
+            issue_cycle=stall_until,
+            fill_cycle=max(fill_cycle, stall_until),
+        )
+        self.primary_misses += 1
+        return stall_until, False
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._entries)
+
+    def reset(self) -> None:
+        self._entries.clear()
+        self.primary_misses = 0
+        self.secondary_misses = 0
+        self.stalls = 0

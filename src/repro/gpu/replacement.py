@@ -1,0 +1,82 @@
+"""Pluggable cache replacement policies.
+
+``SetAssociativeCache`` uses LRU by default.  These policies let experiments
+study replacement sensitivity; each decides which tag in a full set to evict
+given per-line metadata.  They operate on ``(tag -> last_use)`` style state
+supplied by the cache.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional
+
+
+class ReplacementPolicy(ABC):
+    """Selects a victim tag from a full cache set."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def victim(self, last_use: Dict[int, int], insert_order: Dict[int, int],
+               frequency: Dict[int, int]) -> Optional[int]:
+        """Return the tag to evict, or None if the set is empty."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Evict the least-recently-used line."""
+
+    name = "lru"
+
+    def victim(self, last_use, insert_order, frequency):
+        if not last_use:
+            return None
+        return min(last_use, key=last_use.get)
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """Evict the oldest-inserted line regardless of use."""
+
+    name = "fifo"
+
+    def victim(self, last_use, insert_order, frequency):
+        if not insert_order:
+            return None
+        return min(insert_order, key=insert_order.get)
+
+
+class LFUPolicy(ReplacementPolicy):
+    """Evict the least-frequently-used line (ties broken by recency)."""
+
+    name = "lfu"
+
+    def victim(self, last_use, insert_order, frequency):
+        if not frequency:
+            return None
+        return min(frequency, key=lambda tag: (frequency.get(tag, 0), last_use.get(tag, 0)))
+
+
+class MRUPolicy(ReplacementPolicy):
+    """Evict the most-recently-used line (pathological baseline for streaming)."""
+
+    name = "mru"
+
+    def victim(self, last_use, insert_order, frequency):
+        if not last_use:
+            return None
+        return max(last_use, key=last_use.get)
+
+
+POLICIES: Dict[str, type] = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "lfu": LFUPolicy,
+    "mru": MRUPolicy,
+}
+
+
+def build_policy(name: str) -> ReplacementPolicy:
+    try:
+        return POLICIES[name]()
+    except KeyError as error:
+        raise ValueError(f"unknown replacement policy {name!r}; known: {sorted(POLICIES)}") from error

@@ -1,0 +1,234 @@
+"""Streaming multiprocessor and whole-GPU timing model.
+
+The SM model is cycle-approximate: an SM issues at most one instruction per
+cycle, switches among ready warps (latency hiding), coalesces memory accesses,
+probes its private L1D, and forwards misses to the platform's memory subsystem
+through a callback.  The GPU core interleaves all SMs' warps on one event heap
+so that contention in the shared memory system (L2 banks, flash channels,
+SSD engine) is observed in roughly the right time order.
+
+This reproduces the behaviour the paper's figures depend on — latency hiding
+up to ``max_warps``, the 128 B coalesced request stream, L1/L2 filtering and
+the memory system as the bottleneck — without modelling the exact GTX580
+pipeline.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.config import GPUConfig
+from repro.gpu.cache import SetAssociativeCache
+from repro.gpu.coalescer import CoalescingUnit
+from repro.gpu.mshr import MSHR
+from repro.gpu.warp import Instruction, WarpTrace
+from repro.sim.request import AccessType, MemoryRequest, RequestResult
+from repro.sim.engine import Resource
+
+#: Signature of the platform memory hook: (request, now) -> RequestResult.
+MemoryAccessFn = Callable[[MemoryRequest, float], RequestResult]
+
+
+@dataclass
+class SMStatistics:
+    """Per-SM execution statistics."""
+
+    instructions: int = 0
+    memory_instructions: int = 0
+    memory_requests: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    completion_cycle: float = 0.0
+
+
+class StreamingMultiprocessor:
+    """One SM: issue port, coalescer, private L1D and MSHRs."""
+
+    def __init__(self, sm_id: int, config: GPUConfig) -> None:
+        self.sm_id = sm_id
+        self.config = config
+        self.issue_port = Resource(f"sm{sm_id}_issue", ports=1)
+        self.coalescer = CoalescingUnit(
+            request_bytes=config.memory_request_bytes,
+            threads_per_warp=config.threads_per_warp,
+        )
+        self.l1 = SetAssociativeCache(
+            name=f"sm{sm_id}_l1d",
+            size_bytes=config.l1_size_bytes,
+            assoc=config.l1_assoc,
+            line_bytes=config.l1_line_bytes,
+        )
+        self.mshr = MSHR(f"sm{sm_id}_mshr", config.l1_mshr_entries)
+        self.stats = SMStatistics()
+
+    # ------------------------------------------------------------------
+    def execute_instruction(
+        self,
+        instruction: Instruction,
+        warp_id: int,
+        now: float,
+        memory_fn: MemoryAccessFn,
+    ) -> float:
+        """Execute one trace record for a warp; return the warp's next ready cycle."""
+        ready = now
+        # Arithmetic portion: occupies the issue port for one cycle per op.
+        if instruction.compute_ops:
+            start = self.issue_port.acquire(ready, float(instruction.compute_ops))
+            ready = start + instruction.compute_ops
+            self.stats.instructions += instruction.compute_ops
+
+        if not instruction.is_memory:
+            return ready
+
+        # Memory instruction: one issue slot, then coalescing and the cache path.
+        start = self.issue_port.acquire(ready, 1.0)
+        ready = start + 1.0
+        self.stats.instructions += 1
+        self.stats.memory_instructions += 1
+
+        requests = self.coalescer.coalesce(
+            instruction.addresses,
+            instruction.access,
+            warp_id=warp_id,
+            sm_id=self.sm_id,
+            pc=instruction.pc,
+            issue_cycle=ready,
+        )
+        completion = ready
+        for request in requests:
+            finish = self._access_memory(request, ready, memory_fn)
+            completion = max(completion, finish)
+        return completion
+
+    def _access_memory(
+        self, request: MemoryRequest, now: float, memory_fn: MemoryAccessFn
+    ) -> float:
+        """L1 probe, MSHR merge and (on miss) platform memory access."""
+        self.stats.memory_requests += 1
+        line_address = self.l1.line_address(request.address)
+        l1_latency = float(self.config.l1_latency_cycles)
+
+        if request.is_read and self.l1.lookup(request.address):
+            self.stats.l1_hits += 1
+            return now + l1_latency
+
+        if request.is_write:
+            # Write-through, no-allocate L1 (typical for GPU L1D): the write
+            # always goes below; a stale copy is invalidated.
+            self.l1.invalidate(request.address)
+        else:
+            self.stats.l1_misses += 1
+
+        inflight = self.mshr.lookup(line_address, now)
+        if inflight is not None and request.is_read:
+            # Secondary miss: piggyback on the outstanding fill.
+            self.mshr.allocate(line_address, now, inflight.fill_cycle)
+            return max(inflight.fill_cycle, now + l1_latency)
+
+        result = memory_fn(request, now + l1_latency)
+        fill_cycle = result.completion_cycle
+        if request.is_read:
+            self.mshr.allocate(line_address, now, fill_cycle)
+            self.l1.insert(request.address)
+        return fill_cycle
+
+    def reset(self) -> None:
+        self.issue_port.reset()
+        self.l1.clear()
+        self.mshr.reset()
+        self.coalescer.reset()
+        self.stats = SMStatistics()
+
+
+@dataclass
+class GPUExecutionResult:
+    """Outcome of running a set of warp traces on the GPU core."""
+
+    cycles: float
+    instructions: int
+    memory_requests: int
+    ipc: float
+    per_sm: Dict[int, SMStatistics] = field(default_factory=dict)
+
+    def normalized_to(self, baseline: "GPUExecutionResult") -> float:
+        """IPC of this run normalised to another run (Fig. 10 style)."""
+        if baseline.ipc == 0:
+            return 0.0
+        return self.ipc / baseline.ipc
+
+
+class GPUCore:
+    """The full GPU: a set of SMs sharing one memory subsystem hook."""
+
+    def __init__(self, config: GPUConfig) -> None:
+        self.config = config
+        self.sms = [StreamingMultiprocessor(i, config) for i in range(config.num_sms)]
+
+    def sm(self, index: int) -> StreamingMultiprocessor:
+        return self.sms[index % len(self.sms)]
+
+    def run(
+        self,
+        traces: Sequence[WarpTrace],
+        memory_fn: MemoryAccessFn,
+        max_resident_warps: Optional[int] = None,
+    ) -> GPUExecutionResult:
+        """Execute the warp traces to completion and report timing."""
+        if not traces:
+            return GPUExecutionResult(cycles=0.0, instructions=0, memory_requests=0, ipc=0.0)
+        resident_limit = max_resident_warps or self.config.max_warps_per_sm
+
+        # Event heap of (ready_cycle, sequence, trace, position).  Warps beyond
+        # the residency limit of an SM start only when an earlier warp on that
+        # SM finishes, which approximates thread-block scheduling.
+        heap: List = []
+        sequence = 0
+        pending: Dict[int, List[WarpTrace]] = {}
+        resident_count: Dict[int, int] = {}
+        for trace in traces:
+            sm_index = trace.sm_id % len(self.sms)
+            pending.setdefault(sm_index, []).append(trace)
+        for sm_index, sm_traces in pending.items():
+            resident_count[sm_index] = 0
+            for trace in sm_traces[:resident_limit]:
+                heapq.heappush(heap, (0.0, sequence, trace, 0))
+                sequence += 1
+                resident_count[sm_index] += 1
+            del sm_traces[: resident_count[sm_index]]
+
+        final_cycle = 0.0
+        while heap:
+            ready, _, trace, position = heapq.heappop(heap)
+            sm = self.sm(trace.sm_id)
+            if position >= len(trace.instructions):
+                # Warp finished: admit the next pending warp on this SM.
+                sm_index = trace.sm_id % len(self.sms)
+                waiting = pending.get(sm_index)
+                if waiting:
+                    next_trace = waiting.pop(0)
+                    heapq.heappush(heap, (ready, sequence, next_trace, 0))
+                    sequence += 1
+                final_cycle = max(final_cycle, ready)
+                sm.stats.completion_cycle = max(sm.stats.completion_cycle, ready)
+                continue
+            instruction = trace.instructions[position]
+            next_ready = sm.execute_instruction(instruction, trace.warp_id, ready, memory_fn)
+            heapq.heappush(heap, (next_ready, sequence, trace, position + 1))
+            sequence += 1
+
+        total_instructions = sum(sm.stats.instructions for sm in self.sms)
+        total_requests = sum(sm.stats.memory_requests for sm in self.sms)
+        cycles = max(final_cycle, 1.0)
+        return GPUExecutionResult(
+            cycles=cycles,
+            instructions=total_instructions,
+            memory_requests=total_requests,
+            ipc=total_instructions / cycles,
+            per_sm={sm.sm_id: sm.stats for sm in self.sms},
+        )
+
+    def reset(self) -> None:
+        for sm in self.sms:
+            sm.reset()

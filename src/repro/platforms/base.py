@@ -1,0 +1,215 @@
+"""Common platform machinery: GPU core, MMU, shared L2 and the request path.
+
+Every evaluated platform shares the GPU-side path (Fig. 2): SM -> coalescer ->
+L1D -> TLB/MMU -> interconnect -> shared L2 -> *memory side*.  Subclasses
+implement :meth:`_service_l2_miss` (and optionally :meth:`_service_write`) to
+describe their memory side: GDDR5, host-attached SSD, HybridGPU's embedded
+SSD, Optane, or ZnG's flash controllers.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.config import GPU_FREQ_HZ, PlatformConfig, default_config
+from repro.gpu.interconnect import Interconnect
+from repro.gpu.l2cache import SharedL2Cache
+from repro.gpu.mmu import MMU
+from repro.gpu.sm import GPUCore, GPUExecutionResult
+from repro.gpu.warp import WarpTrace
+from repro.sim.request import MemoryRequest, RequestResult
+from repro.sim.stats import StatsCollector
+from repro.workloads.trace import WorkloadTrace
+
+
+@dataclass
+class PlatformResult:
+    """Everything a bench needs from one platform x workload run."""
+
+    platform: str
+    workload: str
+    execution: GPUExecutionResult
+    stats: StatsCollector
+    latency_breakdown: Dict[str, float] = field(default_factory=dict)
+    flash_array_read_bandwidth_gbps: float = 0.0
+    flash_array_total_bandwidth_gbps: float = 0.0
+    memory_bandwidth_gbps: float = 0.0
+    l2_hit_rate: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.execution.ipc
+
+    @property
+    def cycles(self) -> float:
+        return self.execution.cycles
+
+    def speedup_over(self, other: "PlatformResult") -> float:
+        if other.ipc == 0:
+            return 0.0
+        return self.ipc / other.ipc
+
+    def breakdown_fractions(self) -> Dict[str, float]:
+        total = sum(self.latency_breakdown.values())
+        if total <= 0:
+            return {}
+        return {k: v / total for k, v in self.latency_breakdown.items()}
+
+
+class GPUSSDPlatform(ABC):
+    """Base class wiring the GPU front end to a platform-specific memory side."""
+
+    name = "abstract"
+
+    def __init__(self, config: Optional[PlatformConfig] = None) -> None:
+        self.config = config or default_config()
+        self.gpu = GPUCore(self.config.gpu)
+        self.mmu = MMU(self.config.gpu)
+        self.l2 = self._build_l2()
+        self.noc = Interconnect(self.config.gpu, num_destinations=self.l2.banks)
+        self.stats = StatsCollector()
+        self.page_size = self.config.gpu.page_size_bytes
+        self._memory_bytes_served = 0
+
+    # ------------------------------------------------------------------
+    # Hooks for subclasses
+    # ------------------------------------------------------------------
+    def _build_l2(self) -> SharedL2Cache:
+        """Default L2: the conventional 6 MB SRAM cache."""
+        return SharedL2Cache.from_gpu_config(self.config.gpu)
+
+    @abstractmethod
+    def _service_l2_miss(
+        self, request: MemoryRequest, now: float, result: RequestResult
+    ) -> float:
+        """Serve a read that missed the shared L2; return its completion cycle.
+
+        Implementations must add per-component latencies to ``result`` and are
+        responsible for filling the L2 if their fill policy says so.
+        """
+
+    def _service_write(
+        self, request: MemoryRequest, now: float, result: RequestResult
+    ) -> float:
+        """Serve a write below the L2.  Default: same path as a read miss."""
+        return self._service_l2_miss(request, now, result)
+
+    def _observe_read(self, request: MemoryRequest, hit: bool) -> None:
+        """Hook called for every L2 read access (hit or miss).  Default no-op."""
+
+    def prepare(self, workload: WorkloadTrace) -> None:
+        """Load the data set / set up mappings before execution (optional)."""
+
+    @staticmethod
+    def resident_pages(workload: WorkloadTrace) -> set:
+        """Virtual pages the workload touches (what needs to be resident)."""
+        return set(workload.page_read_counts) | set(workload.page_write_counts)
+
+    # ------------------------------------------------------------------
+    # The shared request path
+    # ------------------------------------------------------------------
+    def memory_access(self, request: MemoryRequest, now: float) -> RequestResult:
+        """The callback handed to the GPU core for every coalesced request."""
+        result = RequestResult(request=request, start_cycle=now, completion_cycle=now)
+        self.stats.add("requests")
+        if request.is_write:
+            self.stats.add("write_requests")
+        else:
+            self.stats.add("read_requests")
+
+        # 1. Virtual-address translation through the shared TLB/MMU.
+        translation = self.mmu.translate(request.address, now)
+        component = "tlb" if translation.tlb_hit else "mmu"
+        result.add_latency(component, translation.latency_cycles)
+        time = now + translation.latency_cycles
+        request.translated(translation.physical_address)
+
+        # 2. Interconnect hop from the SM to the target L2 bank.
+        bank = self.l2.bank_of(request.address)
+        arrival = self.noc.send(bank, request.size, time)
+        result.add_latency("l1_l2_net", arrival - time)
+        time = arrival
+
+        # 3. Shared L2 access.
+        outcome = self.l2.access(request.address, request.is_write, time)
+        result.add_latency("l2_cache", outcome.ready_cycle - time)
+        time = outcome.ready_cycle
+
+        if request.is_read:
+            # Let the platform observe the full read stream (e.g. to train a
+            # prefetch predictor) regardless of L2 hit/miss.
+            self._observe_read(request, outcome.hit)
+
+        if request.is_write:
+            completion = self._service_write(request, time, result)
+            self.stats.add("writes_below_l2")
+        elif outcome.hit:
+            self.stats.add("l2_hits")
+            result.hit_level = "l2"
+            completion = time
+        else:
+            self.stats.add("l2_misses")
+            completion = self._service_l2_miss(request, time, result)
+
+        result.completion_cycle = max(completion, time)
+        self.stats.sample("request_latency", result.latency)
+        self.stats.add_breakdown(result.breakdown)
+        self._memory_bytes_served += request.size
+        return result
+
+    # ------------------------------------------------------------------
+    # Execution driver
+    # ------------------------------------------------------------------
+    def run(self, workload: WorkloadTrace) -> PlatformResult:
+        """Run a workload trace to completion and collect the result record."""
+        self.prepare(workload)
+        execution = self.gpu.run(workload.warps, self.memory_access)
+        return self._build_result(workload, execution)
+
+    def run_warps(self, warps: Sequence[WarpTrace], label: str = "custom") -> PlatformResult:
+        """Run raw warp traces (used by micro-benchmarks)."""
+        execution = self.gpu.run(warps, self.memory_access)
+        return self._build_result_common(label, execution)
+
+    def _build_result(self, workload: WorkloadTrace, execution: GPUExecutionResult) -> PlatformResult:
+        return self._build_result_common(workload.name, execution)
+
+    def _build_result_common(self, workload_name: str, execution: GPUExecutionResult) -> PlatformResult:
+        seconds = execution.cycles / GPU_FREQ_HZ if execution.cycles else 0.0
+        memory_bw = (self._memory_bytes_served / seconds / 1e9) if seconds else 0.0
+        result = PlatformResult(
+            platform=self.name,
+            workload=workload_name,
+            execution=execution,
+            stats=self.stats,
+            latency_breakdown=dict(self.stats.breakdown),
+            memory_bandwidth_gbps=memory_bw,
+            l2_hit_rate=self.l2.hit_rate,
+            flash_array_read_bandwidth_gbps=self._flash_read_bandwidth_gbps(execution.cycles),
+            flash_array_total_bandwidth_gbps=self._flash_total_bandwidth_gbps(execution.cycles),
+        )
+        self._annotate_result(result)
+        return result
+
+    def _flash_read_bandwidth_gbps(self, cycles: float) -> float:
+        """Achieved Z-NAND array read bandwidth; platforms without flash return 0."""
+        return 0.0
+
+    def _flash_total_bandwidth_gbps(self, cycles: float) -> float:
+        return 0.0
+
+    def _annotate_result(self, result: PlatformResult) -> None:
+        """Subclasses add platform-specific extras (buffer hit rates, GC counts...)."""
+
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        """A dictionary describing the platform configuration (for reports)."""
+        return {
+            "name": self.name,
+            "l2_size_bytes": self.l2.size_bytes,
+            "l2_read_only": self.l2.read_only,
+            "num_sms": self.config.gpu.num_sms,
+        }

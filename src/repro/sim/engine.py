@@ -1,0 +1,189 @@
+"""Queueing-network primitives for the cycle-approximate simulator.
+
+The ZnG evaluation is dominated by memory-system contention: SSD-engine
+saturation, narrow flash channels, plane occupancy during 3 us reads and
+100 us programs, and L2 bank pressure.  We model each physical unit that can
+be busy as a :class:`Resource` with a fixed number of *ports* (parallel
+servers).  A request asks the resource for service at time ``t`` with a
+duration ``d``; the resource returns when the service actually starts, which
+is the earliest time a port frees up.  Bandwidth-limited links (buses, PCIe,
+DRAM channels) are modelled by :class:`BandwidthResource`, which converts a
+transfer size to a duration.
+
+This approach is deterministic, fast (no event heap per cycle) and produces
+the latency/bandwidth/ordering behaviour the paper's figures depend on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+
+class SimClock:
+    """A monotonically advancing cycle counter shared by a platform."""
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, cycle: float) -> float:
+        """Move the clock forward to ``cycle`` (never backwards)."""
+        if cycle > self._now:
+            self._now = cycle
+        return self._now
+
+    def reset(self) -> None:
+        self._now = 0.0
+
+
+class Resource:
+    """A service station with ``ports`` parallel servers.
+
+    Each call to :meth:`acquire` books one port for ``duration`` cycles at the
+    earliest opportunity at or after ``when``.  The call returns the cycle at
+    which service starts; the caller computes completion as
+    ``start + duration``.  Utilisation statistics are tracked so benches can
+    report achieved bandwidth per component.
+    """
+
+    def __init__(self, name: str, ports: int = 1) -> None:
+        if ports < 1:
+            raise ValueError(f"resource {name!r} needs at least one port")
+        self.name = name
+        self.ports = ports
+        # Min-heap of the times at which each port becomes free.
+        self._free_at: List[float] = [0.0] * ports
+        heapq.heapify(self._free_at)
+        self.busy_cycles: float = 0.0
+        self.requests_served: int = 0
+        self.last_completion: float = 0.0
+
+    def acquire(self, when: float, duration: float) -> float:
+        """Book a port; return the start time of service."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        earliest_free = heapq.heappop(self._free_at)
+        start = max(when, earliest_free)
+        completion = start + duration
+        heapq.heappush(self._free_at, completion)
+        self.busy_cycles += duration
+        self.requests_served += 1
+        if completion > self.last_completion:
+            self.last_completion = completion
+        return start
+
+    def next_free(self) -> float:
+        """Earliest cycle at which at least one port is idle."""
+        return self._free_at[0]
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of port-cycles spent busy up to ``horizon``."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / (horizon * self.ports))
+
+    def reset(self) -> None:
+        self._free_at = [0.0] * self.ports
+        heapq.heapify(self._free_at)
+        self.busy_cycles = 0.0
+        self.requests_served = 0
+        self.last_completion = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Resource({self.name!r}, ports={self.ports})"
+
+
+class BandwidthResource(Resource):
+    """A link whose service time is ``bytes / bytes_per_cycle`` plus a fixed latency.
+
+    Used for flash channels, the widened flash network, the HybridGPU DRAM
+    buffer bus, PCIe, and DRAM/Optane channels.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        bytes_per_cycle: float,
+        ports: int = 1,
+        fixed_latency: float = 0.0,
+    ) -> None:
+        super().__init__(name, ports)
+        if bytes_per_cycle <= 0:
+            raise ValueError(f"link {name!r} needs positive bandwidth")
+        self.bytes_per_cycle = bytes_per_cycle
+        self.fixed_latency = fixed_latency
+        self.bytes_transferred: int = 0
+
+    def transfer_time(self, num_bytes: int) -> float:
+        """Cycles needed to move ``num_bytes`` over this link."""
+        return self.fixed_latency + num_bytes / self.bytes_per_cycle
+
+    def transfer(self, when: float, num_bytes: int) -> float:
+        """Book the link for a transfer; return the completion cycle."""
+        duration = self.transfer_time(num_bytes)
+        start = self.acquire(when, duration)
+        self.bytes_transferred += num_bytes
+        return start + duration
+
+    def achieved_bandwidth(self, horizon: float) -> float:
+        """Bytes per cycle actually moved up to ``horizon``."""
+        if horizon <= 0:
+            return 0.0
+        return self.bytes_transferred / horizon
+
+    def reset(self) -> None:
+        super().reset()
+        self.bytes_transferred = 0
+
+
+class ResourcePool:
+    """A striped collection of identical resources (e.g. L2 banks, channels).
+
+    Requests are routed by an index (address hash, channel id, ...); the pool
+    simply owns the resources so platforms can reset and report them together.
+    """
+
+    def __init__(self, resources: List[Resource]) -> None:
+        if not resources:
+            raise ValueError("a resource pool needs at least one resource")
+        self.resources = resources
+
+    def __len__(self) -> int:
+        return len(self.resources)
+
+    def __getitem__(self, index: int) -> Resource:
+        return self.resources[index % len(self.resources)]
+
+    def __iter__(self):
+        return iter(self.resources)
+
+    def reset(self) -> None:
+        for resource in self.resources:
+            resource.reset()
+
+    @property
+    def busy_cycles(self) -> float:
+        return sum(r.busy_cycles for r in self.resources)
+
+    @property
+    def requests_served(self) -> int:
+        return sum(r.requests_served for r in self.resources)
+
+    @property
+    def last_completion(self) -> float:
+        return max(r.last_completion for r in self.resources)
+
+    def least_loaded_index(self) -> int:
+        """Index of the resource that frees up first (for load balancing)."""
+        best_index = 0
+        best_time: Optional[float] = None
+        for index, resource in enumerate(self.resources):
+            free = resource.next_free()
+            if best_time is None or free < best_time:
+                best_time = free
+                best_index = index
+        return best_index

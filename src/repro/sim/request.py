@@ -1,0 +1,103 @@
+"""Memory request representation shared by the GPU and SSD substrates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional
+
+
+class AccessType(Enum):
+    """The kind of memory operation carried by a request."""
+
+    READ = "read"
+    WRITE = "write"
+
+    @property
+    def is_write(self) -> bool:
+        return self is AccessType.WRITE
+
+    @property
+    def is_read(self) -> bool:
+        return self is AccessType.READ
+
+
+@dataclass
+class MemoryRequest:
+    """A coalesced memory request as seen below the L1 cache.
+
+    Addresses are *virtual* when the request is created by an SM and are
+    rewritten to device-physical addresses by the MMU / FTL on the way down.
+
+    Attributes
+    ----------
+    address:
+        Byte address of the access (virtual at creation time).
+    size:
+        Number of bytes accessed; GPU memory requests are 128 B.
+    access:
+        Read or write.
+    warp_id, sm_id, pc:
+        Identity of the issuing warp; the ZnG prefetcher keys its predictor
+        table on ``pc`` and tracks per-warp history.
+    issue_cycle:
+        Cycle at which the request left the SM.
+    """
+
+    address: int
+    size: int = 128
+    access: AccessType = AccessType.READ
+    warp_id: int = 0
+    sm_id: int = 0
+    pc: int = 0
+    issue_cycle: float = 0.0
+    physical_address: Optional[int] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def is_write(self) -> bool:
+        return self.access.is_write
+
+    @property
+    def is_read(self) -> bool:
+        return self.access.is_read
+
+    def page_number(self, page_size: int = 4096) -> int:
+        """Virtual page number of the request."""
+        return self.address // page_size
+
+    def line_address(self, line_size: int = 128) -> int:
+        """Cache-line-aligned address of the request."""
+        return (self.address // line_size) * line_size
+
+    def translated(self, physical_address: int) -> "MemoryRequest":
+        """Record the device-physical address produced by translation."""
+        self.physical_address = physical_address
+        return self
+
+
+@dataclass
+class RequestResult:
+    """Completion record returned by a platform for one memory request.
+
+    ``breakdown`` maps component names (``"l1"``, ``"tlb"``, ``"l2"``,
+    ``"flash_array"``, ``"ssd_engine"`` ...) to the latency in cycles charged
+    by that component, which is what the latency-breakdown figures consume.
+    """
+
+    request: MemoryRequest
+    start_cycle: float
+    completion_cycle: float
+    serviced_by: str = "memory"
+    hit_level: str = "memory"
+    breakdown: Dict[str, float] = field(default_factory=dict)
+    bytes_moved_from_flash: int = 0
+
+    @property
+    def latency(self) -> float:
+        return self.completion_cycle - self.start_cycle
+
+    def add_latency(self, component: str, cycles: float) -> None:
+        if cycles <= 0:
+            return
+        self.breakdown[component] = self.breakdown.get(component, 0.0) + cycles

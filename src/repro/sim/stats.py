@@ -1,0 +1,149 @@
+"""Statistics collection used by platforms and the analysis layer."""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping
+
+
+@dataclass
+class Counter:
+    """A named monotonically increasing counter."""
+
+    name: str
+    value: float = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Histogram:
+    """A tiny histogram for latency distributions."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples: List[float] = []
+
+    def add(self, value: float) -> None:
+        self.samples.append(value)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Return the ``fraction`` percentile (0..1) of the samples."""
+        if not self.samples:
+            return 0.0
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, int(math.ceil(fraction * len(ordered))) - 1)
+        return ordered[max(0, index)]
+
+    def reset(self) -> None:
+        self.samples.clear()
+
+
+class StatsCollector:
+    """Collects counters, histograms and per-component latency breakdowns."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.breakdown: Dict[str, float] = defaultdict(float)
+
+    # -- counters -----------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).add(amount)
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        counter = self.counters.get(name)
+        return counter.value if counter is not None else default
+
+    # -- histograms ---------------------------------------------------------
+    def histogram(self, name: str) -> Histogram:
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(name)
+        return self.histograms[name]
+
+    def sample(self, name: str, value: float) -> None:
+        self.histogram(name).add(value)
+
+    # -- latency breakdown --------------------------------------------------
+    def add_breakdown(self, components: Mapping[str, float]) -> None:
+        for component, cycles in components.items():
+            self.breakdown[component] += cycles
+
+    def breakdown_fractions(self) -> Dict[str, float]:
+        total = sum(self.breakdown.values())
+        if total <= 0:
+            return {}
+        return {name: value / total for name, value in self.breakdown.items()}
+
+    # -- aggregation --------------------------------------------------------
+    def merge(self, other: "StatsCollector") -> None:
+        for name, counter in other.counters.items():
+            self.counter(name).add(counter.value)
+        for name, histogram in other.histograms.items():
+            for sample in histogram.samples:
+                self.histogram(name).add(sample)
+        self.add_breakdown(other.breakdown)
+
+    def as_dict(self) -> Dict[str, float]:
+        summary: Dict[str, float] = {name: c.value for name, c in self.counters.items()}
+        for name, histogram in self.histograms.items():
+            summary[f"{name}.mean"] = histogram.mean
+            summary[f"{name}.count"] = float(histogram.count)
+        return summary
+
+    def reset(self) -> None:
+        for counter in self.counters.values():
+            counter.reset()
+        for histogram in self.histograms.values():
+            histogram.reset()
+        self.breakdown.clear()
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """A defensive division helper for metric code."""
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean used for cross-workload speedup summaries."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,133 @@
+"""Explicit 2-D mesh routing model for the ZnG flash network (Section III-B).
+
+The paper replaces the bus-structured flash channel with a mesh so the network
+bandwidth can keep up with the accumulated Z-NAND bandwidth.  ``FlashNetwork``
+(in ``flash_network.py``) captures the aggregate per-channel bandwidth, which is
+what the platform timing needs.  This module adds the *topology*: the 16
+channels are laid out on a 4×4 mesh of routers, packets take XY-routed paths,
+and each inter-router link is a contended bandwidth resource.  It lets the
+ablation quantify mesh hop counts and link contention, and validates the
+average-hop constant used by the aggregate model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.config import ZNANDConfig, bandwidth_to_bytes_per_cycle
+from repro.sim.engine import BandwidthResource
+
+
+@dataclass(frozen=True)
+class MeshCoord:
+    """Router coordinates on the 2-D mesh."""
+
+    x: int
+    y: int
+
+
+class MeshFlashNetwork:
+    """A 2-D mesh of routers connecting the flash channels.
+
+    Channels are assigned to routers in row-major order.  A transfer between
+    two channels is XY-routed (first along X, then Y); each link it traverses
+    is booked as a bandwidth resource, so congestion on shared links emerges.
+    """
+
+    def __init__(self, config: ZNANDConfig, link_latency_cycles: float = 4.0) -> None:
+        self.config = config
+        self.channels = config.channels
+        self.dim = int(math.ceil(math.sqrt(self.channels)))
+        self.link_latency_cycles = link_latency_cycles
+        per_link_bw = bandwidth_to_bytes_per_cycle(
+            config.flash_network_bandwidth_bytes_per_s
+        )
+        # One bidirectional link resource per ordered router pair that is
+        # adjacent on the mesh.
+        self._links: Dict[Tuple[int, int], BandwidthResource] = {}
+        for router in range(self.channels):
+            for neighbour in self._neighbours(router):
+                key = (router, neighbour)
+                self._links[key] = BandwidthResource(
+                    name=f"mesh_link_{router}_{neighbour}",
+                    bytes_per_cycle=per_link_bw,
+                    ports=1,
+                    fixed_latency=link_latency_cycles,
+                )
+        self.packets = 0
+        self.total_hops = 0
+
+    # -- topology -------------------------------------------------------------
+    def coord(self, router: int) -> MeshCoord:
+        return MeshCoord(x=router % self.dim, y=router // self.dim)
+
+    def router_of(self, coord: MeshCoord) -> int:
+        return coord.y * self.dim + coord.x
+
+    def _neighbours(self, router: int) -> List[int]:
+        coord = self.coord(router)
+        neighbours = []
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nx, ny = coord.x + dx, coord.y + dy
+            if 0 <= nx < self.dim and 0 <= ny < self.dim:
+                candidate = self.router_of(MeshCoord(nx, ny))
+                if candidate < self.channels:
+                    neighbours.append(candidate)
+        return neighbours
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """XY route from ``src`` to ``dst``; returns the router path inclusive."""
+        path = [src]
+        sc, dc = self.coord(src), self.coord(dst)
+        x, y = sc.x, sc.y
+        step = 1 if dc.x >= sc.x else -1
+        while x != dc.x:
+            x += step
+            path.append(self.router_of(MeshCoord(x, y)))
+        step = 1 if dc.y >= sc.y else -1
+        while y != dc.y:
+            y += step
+            path.append(self.router_of(MeshCoord(x, y)))
+        return path
+
+    def hop_count(self, src: int, dst: int) -> int:
+        sc, dc = self.coord(src), self.coord(dst)
+        return abs(sc.x - dc.x) + abs(sc.y - dc.y)
+
+    def average_hop_count(self) -> float:
+        """Mean Manhattan distance over all ordered channel pairs."""
+        total = 0
+        pairs = 0
+        for src in range(self.channels):
+            for dst in range(self.channels):
+                if src != dst:
+                    total += self.hop_count(src, dst)
+                    pairs += 1
+        return total / pairs if pairs else 0.0
+
+    # -- transfer -------------------------------------------------------------
+    def transfer(self, src: int, dst: int, num_bytes: int, now: float) -> float:
+        """Route a packet from ``src`` to ``dst``; return the arrival cycle."""
+        path = self.route(src, dst)
+        self.packets += 1
+        self.total_hops += len(path) - 1
+        time = now
+        for a, b in zip(path, path[1:]):
+            link = self._links[(a, b)]
+            time = link.transfer(time, num_bytes)
+        if len(path) == 1:
+            # Same router: just the local access latency.
+            time = now + self.link_latency_cycles
+        return time
+
+    @property
+    def num_links(self) -> int:
+        return len(self._links)
+
+    def reset(self) -> None:
+        for link in self._links.values():
+            link.reset()
+        self.packets = 0
+        self.total_hops = 0

@@ -1,0 +1,48 @@
+"""Optane DC PMM model used by the Optane baseline platform.
+
+The baseline replaces the GPU DRAM with Optane DC PMM behind six memory
+controllers (Section V-A).  Latency constants come from Table I (derived from
+measurements of real devices); aggregate read bandwidth saturates around
+39 GB/s.
+"""
+
+from __future__ import annotations
+
+from repro.config import GPU_FREQ_HZ, OptaneConfig
+from repro.gpu.memory_controller import MemoryControllerArray, build_optane_controllers
+
+
+class OptaneMemory:
+    """Byte-addressable (256 B granular) persistent memory behind 6 controllers."""
+
+    def __init__(self, config: OptaneConfig) -> None:
+        self.config = config
+        self.controllers: MemoryControllerArray = build_optane_controllers(config)
+        self.reads = 0
+        self.writes = 0
+        self.bytes_accessed = 0
+
+    def access(self, address: int, size: int, is_write: bool, now: float) -> float:
+        """Serve one access; internal granularity is 256 B."""
+        granule = self.config.access_granularity_bytes
+        effective = max(size, granule)
+        # Round the transfer up to whole 256 B granules (read-modify-write for
+        # small writes, exactly the Optane behaviour that hurts 128 B traffic).
+        effective = ((effective + granule - 1) // granule) * granule
+        if is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        self.bytes_accessed += effective
+        return self.controllers.access(address, effective, is_write, now)
+
+    def achieved_bandwidth_bytes_per_s(self, horizon_cycles: float) -> float:
+        if horizon_cycles <= 0:
+            return 0.0
+        return self.bytes_accessed / (horizon_cycles / GPU_FREQ_HZ)
+
+    def reset_statistics(self) -> None:
+        self.controllers.reset()
+        self.reads = 0
+        self.writes = 0
+        self.bytes_accessed = 0

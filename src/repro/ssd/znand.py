@@ -1,0 +1,266 @@
+"""The Z-NAND flash array: planes, blocks, pages, registers and timing.
+
+Z-NAND characteristics captured here (Section II-B):
+
+* page-granular access (4 KB pages, 384 pages/block),
+* SLC timing — 3 us reads, 100 us programs, block erases,
+* in-order programming within a block and erase-before-write,
+* a small number of per-plane registers used as staging buffers,
+* a parallel backbone: 16 channels x 8 dies x 8 planes.
+
+The array books per-plane occupancy for array operations and the flash
+network for data movement; valid/invalid page state and P/E wear are tracked
+so the FTLs (firmware and zero-overhead) can run garbage collection and the
+benches can report write asymmetry and WAF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import GPU_FREQ_HZ, ZNANDConfig
+from repro.sim.engine import Resource
+from repro.ssd.flash_network import FlashNetwork
+from repro.ssd.geometry import FlashGeometry, FlashLocation
+
+
+@dataclass
+class FlashOperationResult:
+    """Timing record of one flash array operation."""
+
+    start_cycle: float
+    completion_cycle: float
+    array_cycles: float
+    transfer_cycles: float
+    location: Optional[FlashLocation] = None
+
+    @property
+    def latency(self) -> float:
+        return self.completion_cycle - self.start_cycle
+
+
+class PageState:
+    """Per-page lifecycle used for GC accounting."""
+
+    FREE = 0
+    VALID = 1
+    INVALID = 2
+
+
+@dataclass
+class BlockState:
+    """Valid-page bookkeeping for one flash block."""
+
+    next_free_page: int = 0
+    valid_pages: int = 0
+    erase_count: int = 0
+
+    def is_full(self, pages_per_block: int) -> bool:
+        return self.next_free_page >= pages_per_block
+
+
+class ZNANDArray:
+    """The flash backbone with timing, registers and wear state."""
+
+    #: Command/decode overhead of issuing one flash command, in cycles.
+    COMMAND_OVERHEAD_CYCLES = 10.0
+
+    def __init__(
+        self,
+        config: ZNANDConfig,
+        network: Optional[FlashNetwork] = None,
+    ) -> None:
+        self.config = config
+        self.geometry = FlashGeometry(config)
+        self.network = network or FlashNetwork(config)
+        # One occupancy resource per plane: a plane can perform a single read,
+        # program or erase at a time.
+        self.planes = [
+            Resource(f"plane{i}", ports=1) for i in range(self.geometry.total_planes)
+        ]
+        # Per-plane register pools; their *contents* are managed by the write
+        # cache (repro.core.register_cache), the array only limits concurrency
+        # of register <-> array transfers per plane.
+        self.registers_per_plane = config.registers_per_plane
+        # State tracking.
+        self._block_state: Dict[int, BlockState] = {}
+        self._page_state: Dict[int, int] = {}
+        # Statistics.
+        self.page_reads = 0
+        self.page_programs = 0
+        self.block_erases = 0
+        self.reads_per_plane = np.zeros(self.geometry.total_planes, dtype=np.int64)
+        self.writes_per_plane = np.zeros(self.geometry.total_planes, dtype=np.int64)
+        self.bytes_read_from_array = 0
+        self.bytes_programmed = 0
+
+    # -- block/page state helpers -------------------------------------------
+    def _block_key(self, plane_id: int, block: int) -> int:
+        return plane_id * self.geometry.blocks_per_plane + block
+
+    def block_state(self, plane_id: int, block: int) -> BlockState:
+        key = self._block_key(plane_id, block)
+        if key not in self._block_state:
+            self._block_state[key] = BlockState()
+        return self._block_state[key]
+
+    def page_state(self, ppn: int) -> int:
+        return self._page_state.get(ppn, PageState.FREE)
+
+    def mark_valid(self, ppn: int) -> None:
+        location = self.geometry.decompose(ppn)
+        plane_id = self.geometry.plane_id(location)
+        state = self.block_state(plane_id, location.block)
+        previous = self._page_state.get(ppn, PageState.FREE)
+        if previous != PageState.VALID:
+            state.valid_pages += 1
+        self._page_state[ppn] = PageState.VALID
+
+    def mark_invalid(self, ppn: int) -> None:
+        location = self.geometry.decompose(ppn)
+        plane_id = self.geometry.plane_id(location)
+        state = self.block_state(plane_id, location.block)
+        if self._page_state.get(ppn) == PageState.VALID and state.valid_pages > 0:
+            state.valid_pages -= 1
+        self._page_state[ppn] = PageState.INVALID
+
+    # -- timing primitives ----------------------------------------------------
+    def _plane_resource(self, location: FlashLocation) -> Tuple[int, Resource]:
+        plane_id = self.geometry.plane_id(location)
+        return plane_id, self.planes[plane_id]
+
+    def read_page(
+        self, ppn: int, now: float, transfer_bytes: Optional[int] = None
+    ) -> FlashOperationResult:
+        """Sense a page from the array and ship it over the flash network.
+
+        ``transfer_bytes`` allows the caller to move only part of the page
+        (e.g. a reduced prefetch granularity); the array sensing time is paid
+        in full regardless, which is exactly the granularity mismatch the
+        paper highlights.
+        """
+        location = self.geometry.decompose(ppn)
+        plane_id, plane = self._plane_resource(location)
+        array_latency = self.config.read_latency_cycles + self.COMMAND_OVERHEAD_CYCLES
+        start = plane.acquire(now, array_latency)
+        sensed = start + array_latency
+        bytes_to_move = transfer_bytes or self.config.page_size_bytes
+        completion = self.network.transfer(location.channel, bytes_to_move, sensed)
+        self.page_reads += 1
+        self.reads_per_plane[plane_id] += 1
+        self.bytes_read_from_array += self.config.page_size_bytes
+        return FlashOperationResult(
+            start_cycle=start,
+            completion_cycle=completion,
+            array_cycles=array_latency,
+            transfer_cycles=completion - sensed,
+            location=location,
+        )
+
+    def program_page(
+        self, ppn: int, now: float, transfer_bytes: Optional[int] = None
+    ) -> FlashOperationResult:
+        """Transfer data to the plane register and program it into the array."""
+        location = self.geometry.decompose(ppn)
+        plane_id, plane = self._plane_resource(location)
+        bytes_to_move = transfer_bytes or self.config.page_size_bytes
+        transferred = self.network.transfer(location.channel, bytes_to_move, now)
+        array_latency = self.config.program_latency_cycles + self.COMMAND_OVERHEAD_CYCLES
+        start = plane.acquire(transferred, array_latency)
+        completion = start + array_latency
+        # Bookkeeping: in-order programming within the block.
+        state = self.block_state(plane_id, location.block)
+        state.next_free_page = max(state.next_free_page, location.page + 1)
+        self.mark_valid(ppn)
+        self.page_programs += 1
+        self.writes_per_plane[plane_id] += 1
+        self.bytes_programmed += self.config.page_size_bytes
+        return FlashOperationResult(
+            start_cycle=now,
+            completion_cycle=completion,
+            array_cycles=array_latency,
+            transfer_cycles=transferred - now,
+            location=location,
+        )
+
+    def erase_block(self, plane_id: int, block: int, now: float) -> FlashOperationResult:
+        """Erase a block, resetting its in-order programming pointer."""
+        plane = self.planes[plane_id]
+        latency = self.config.erase_latency_cycles + self.COMMAND_OVERHEAD_CYCLES
+        start = plane.acquire(now, latency)
+        completion = start + latency
+        state = self.block_state(plane_id, block)
+        state.next_free_page = 0
+        state.valid_pages = 0
+        state.erase_count += 1
+        # Invalidate residual page state of this block.
+        base_page = 0
+        for page in range(self.geometry.pages_per_block):
+            ppn = self.geometry.ppn_of(plane_id, block, page)
+            self._page_state.pop(ppn, None)
+        _ = base_page
+        self.block_erases += 1
+        return FlashOperationResult(
+            start_cycle=start,
+            completion_cycle=completion,
+            array_cycles=latency,
+            transfer_cycles=0.0,
+        )
+
+    def register_to_register_copy(
+        self, src_channel: int, dst_channel: int, num_bytes: int, now: float
+    ) -> float:
+        """Copy data between registers on different packages over the flash network.
+
+        This is the data movement SWnet pays for when a register's data must
+        land on a remote plane (Section IV-C).
+        """
+        after_src = self.network.transfer(src_channel, num_bytes, now)
+        if dst_channel == src_channel:
+            return after_src
+        return self.network.transfer(dst_channel, num_bytes, after_src)
+
+    # -- reporting -------------------------------------------------------------
+    def write_heatmap(self) -> np.ndarray:
+        """Writes per (channel, plane-within-channel): the Fig. 8b heat map."""
+        channels = self.config.channels
+        planes_per_channel = self.geometry.total_planes // channels
+        heatmap = np.zeros((channels, planes_per_channel), dtype=np.int64)
+        for plane_id in range(self.geometry.total_planes):
+            channel = plane_id // (self.geometry.dies_per_channel * self.geometry.planes_per_die)
+            within = plane_id % (self.geometry.dies_per_channel * self.geometry.planes_per_die)
+            heatmap[channel, within] = self.writes_per_plane[plane_id]
+        return heatmap
+
+    def array_read_bandwidth_bytes_per_s(self, horizon_cycles: float) -> float:
+        """Achieved flash-array read bandwidth (Fig. 11 metric)."""
+        if horizon_cycles <= 0:
+            return 0.0
+        seconds = horizon_cycles / GPU_FREQ_HZ
+        return self.bytes_read_from_array / seconds
+
+    def array_total_bandwidth_bytes_per_s(self, horizon_cycles: float) -> float:
+        if horizon_cycles <= 0:
+            return 0.0
+        seconds = horizon_cycles / GPU_FREQ_HZ
+        return (self.bytes_read_from_array + self.bytes_programmed) / seconds
+
+    def max_erase_count(self) -> int:
+        if not self._block_state:
+            return 0
+        return max(state.erase_count for state in self._block_state.values())
+
+    def reset_statistics(self) -> None:
+        self.page_reads = 0
+        self.page_programs = 0
+        self.block_erases = 0
+        self.reads_per_plane[:] = 0
+        self.writes_per_plane[:] = 0
+        self.bytes_read_from_array = 0
+        self.bytes_programmed = 0
+        for plane in self.planes:
+            plane.reset()
+        self.network.reset()

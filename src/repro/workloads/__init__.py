@@ -1,0 +1,47 @@
+"""Workloads: Table II benchmark specifications and synthetic trace generation."""
+
+from repro.workloads.trace import WorkloadSpec, WorkloadTrace
+from repro.workloads.generators import TraceGenerator, generate_workload
+from repro.workloads.suites import (
+    GRAPH_WORKLOADS,
+    SCIENTIFIC_WORKLOADS,
+    ALL_WORKLOADS,
+    MULTI_APP_MIXES,
+    workload_by_name,
+)
+from repro.workloads.multiapp import MultiAppWorkload, build_mix, build_all_mixes
+from repro.workloads.microbench import streaming, pointer_chase, stencil, hammer
+from repro.workloads.io import save_trace, load_trace, dumps, loads
+from repro.workloads.graphgen import (
+    CSRGraph,
+    generate_power_law_graph,
+    bfs_traversal,
+    pagerank_iteration,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "WorkloadTrace",
+    "TraceGenerator",
+    "generate_workload",
+    "GRAPH_WORKLOADS",
+    "SCIENTIFIC_WORKLOADS",
+    "ALL_WORKLOADS",
+    "MULTI_APP_MIXES",
+    "workload_by_name",
+    "MultiAppWorkload",
+    "build_mix",
+    "build_all_mixes",
+    "streaming",
+    "pointer_chase",
+    "stencil",
+    "hammer",
+    "save_trace",
+    "load_trace",
+    "dumps",
+    "loads",
+    "CSRGraph",
+    "generate_power_law_graph",
+    "bfs_traversal",
+    "pagerank_iteration",
+]

@@ -1,0 +1,241 @@
+"""Graph-structured workload generation (CSR traversal).
+
+The paper's headline application is large-scale graph analysis.  The
+statistical generator in ``generators.py`` reproduces the *aggregate*
+statistics (read ratio, reuse, redundancy); this module builds a concrete
+synthetic graph in CSR form and emits the access pattern of a real traversal
+over it, so the locality and re-access behaviour emerge from graph structure
+rather than being prescribed.
+
+* A power-law (Barabasi-Albert-like) graph is generated: a few high-degree
+  hub vertices and many low-degree ones, matching real graphs.
+* BFS / PageRank / SSSP traversals read each vertex's neighbour list from the
+  CSR ``column_index`` array and update per-vertex values — the irregular,
+  reuse-heavy pattern the prefetcher and L2 target.
+
+The CSR arrays are laid out in the virtual address space; accesses to them
+become the warp traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.gpu.warp import Instruction, WarpTrace
+from repro.sim.request import AccessType
+from repro.workloads.generators import LINE_SIZE, PAGE_SIZE, WORD_SIZE
+from repro.workloads.trace import WorkloadSpec, WorkloadTrace
+
+
+@dataclass
+class CSRGraph:
+    """A graph in compressed-sparse-row form."""
+
+    num_vertices: int
+    row_offsets: np.ndarray        # length num_vertices + 1
+    column_index: np.ndarray       # length num_edges
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.column_index.shape[0])
+
+    def neighbours(self, vertex: int) -> np.ndarray:
+        start, end = self.row_offsets[vertex], self.row_offsets[vertex + 1]
+        return self.column_index[start:end]
+
+    def degree(self, vertex: int) -> int:
+        return int(self.row_offsets[vertex + 1] - self.row_offsets[vertex])
+
+
+def generate_power_law_graph(
+    num_vertices: int, avg_degree: int = 8, seed: int = 1
+) -> CSRGraph:
+    """Generate a power-law directed graph in CSR form.
+
+    Each new vertex attaches to ``avg_degree`` existing vertices chosen with
+    probability proportional to their current in-degree (preferential
+    attachment), producing a few high-degree hubs.
+    """
+    rng = np.random.default_rng(seed)
+    num_vertices = max(avg_degree + 1, num_vertices)
+    # Preferential-attachment target list: repeated endpoints bias toward hubs.
+    targets = list(range(avg_degree))
+    adjacency: List[List[int]] = [[] for _ in range(num_vertices)]
+    for source in range(avg_degree, num_vertices):
+        chosen = set()
+        attempts = 0
+        while len(chosen) < avg_degree and attempts < avg_degree * 4:
+            chosen.add(targets[int(rng.integers(0, len(targets)))])
+            attempts += 1
+        for dst in chosen:
+            adjacency[source].append(dst)
+            targets.append(dst)
+            targets.append(source)
+    row_offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+    for v in range(num_vertices):
+        row_offsets[v + 1] = row_offsets[v] + len(adjacency[v])
+    column_index = np.fromiter(
+        (dst for row in adjacency for dst in row), dtype=np.int64,
+        count=int(row_offsets[-1]),
+    )
+    return CSRGraph(num_vertices=num_vertices, row_offsets=row_offsets, column_index=column_index)
+
+
+# Virtual-address layout of the CSR arrays (disjoint regions).
+_ROW_OFFSET_BASE = 0
+_COLUMN_BASE = 1 << 32
+_VALUE_BASE = 2 << 32
+
+
+GRAPH_BFS_SPEC = WorkloadSpec(
+    name="graph_bfs", suite="graph-csr", read_ratio=0.9, kernels=1,
+    read_reaccess=20.0, write_redundancy=10.0, sequential_fraction=0.5,
+)
+GRAPH_PR_SPEC = WorkloadSpec(
+    name="graph_pagerank", suite="graph-csr", read_ratio=0.95, kernels=1,
+    read_reaccess=40.0, write_redundancy=30.0, sequential_fraction=0.6,
+)
+
+
+def _addr(base: int, index: int) -> int:
+    """Byte address of element ``index`` (4 B each) in an array at ``base``."""
+    return base + index * WORD_SIZE
+
+
+def _coalesced_scan(base: int, start_index: int, count: int) -> List[int]:
+    """Per-thread addresses reading ``count`` consecutive elements (a scan)."""
+    return [_addr(base, start_index + i) for i in range(min(count, 32))]
+
+
+def bfs_traversal(
+    graph: CSRGraph,
+    num_warps: int = 64,
+    num_sms: int = 16,
+    frontier_fraction: float = 0.25,
+    seed: int = 1,
+) -> WorkloadTrace:
+    """Emit the access pattern of one BFS level expansion over the graph.
+
+    Each warp processes one frontier vertex: it reads the vertex's row offset
+    (two adjacent reads), scans its neighbour list (contiguous reads of
+    ``column_index``), and writes each neighbour's visited/value entry
+    (scattered writes) — the classic irregular, hub-reuse graph pattern.
+    """
+    rng = np.random.default_rng(seed)
+    trace = WorkloadTrace(spec=GRAPH_BFS_SPEC)
+    frontier_size = max(1, int(graph.num_vertices * frontier_fraction))
+    frontier = rng.choice(graph.num_vertices, size=min(frontier_size, graph.num_vertices),
+                          replace=False)
+
+    def note_read(address: int) -> None:
+        page = address // PAGE_SIZE
+        trace.page_read_counts[page] = trace.page_read_counts.get(page, 0) + 1
+
+    def note_write(address: int) -> None:
+        page = address // PAGE_SIZE
+        trace.page_write_counts[page] = trace.page_write_counts.get(page, 0) + 1
+
+    for w in range(num_warps):
+        warp = WarpTrace(warp_id=w, sm_id=w % num_sms)
+        vertex = int(frontier[w % len(frontier)])
+        # 1. Read the row-offset pair (start, end) — two contiguous reads.
+        ro_addr = _addr(_ROW_OFFSET_BASE, vertex)
+        warp.append(Instruction(pc=0x100, compute_ops=2,
+                                addresses=[ro_addr, ro_addr + WORD_SIZE],
+                                access=AccessType.READ))
+        note_read(ro_addr)
+        note_read(ro_addr + WORD_SIZE)
+        # 2. Scan the neighbour list (contiguous column_index reads).
+        start = int(graph.row_offsets[vertex])
+        degree = graph.degree(vertex)
+        for offset in range(0, max(1, degree), 32):
+            addrs = _coalesced_scan(_COLUMN_BASE, start + offset, degree - offset)
+            if not addrs:
+                break
+            warp.append(Instruction(pc=0x108, compute_ops=1, addresses=addrs,
+                                    access=AccessType.READ))
+            for a in addrs:
+                note_read(a)
+            # 3. Read each neighbour's visited flag; BFS only writes the few
+            # newly-discovered ones (real BFS is read-dominated).
+            for neighbour_addr in addrs:
+                idx = (neighbour_addr - _COLUMN_BASE) // WORD_SIZE
+                neighbour = int(graph.column_index[min(idx, graph.num_edges - 1)])
+                value_addr = _addr(_VALUE_BASE, neighbour)
+                warp.append(Instruction(pc=0x200, compute_ops=1,
+                                        addresses=[value_addr], access=AccessType.READ))
+                note_read(value_addr)
+                if rng.random() < 0.1:  # newly discovered -> update distance
+                    warp.append(Instruction(pc=0x208, compute_ops=1,
+                                            addresses=[value_addr], access=AccessType.WRITE))
+                    note_write(value_addr)
+        trace.warps.append(warp)
+
+    footprint_bytes = max(
+        _VALUE_BASE + graph.num_vertices * WORD_SIZE,
+        _COLUMN_BASE + graph.num_edges * WORD_SIZE,
+    )
+    trace.footprint_pages = footprint_bytes // PAGE_SIZE
+    return trace
+
+
+def pagerank_iteration(
+    graph: CSRGraph,
+    num_warps: int = 64,
+    num_sms: int = 16,
+    seed: int = 1,
+) -> WorkloadTrace:
+    """Emit one PageRank iteration: read neighbour ranks, accumulate, write.
+
+    PageRank re-reads the high-degree hubs' rank entries repeatedly across
+    vertices, producing the heavy page re-access (Fig. 5b) the L2 exploits.
+    """
+    trace = WorkloadTrace(spec=GRAPH_PR_SPEC)
+
+    def note_read(address: int) -> None:
+        page = address // PAGE_SIZE
+        trace.page_read_counts[page] = trace.page_read_counts.get(page, 0) + 1
+
+    def note_write(address: int) -> None:
+        page = address // PAGE_SIZE
+        trace.page_write_counts[page] = trace.page_write_counts.get(page, 0) + 1
+
+    vertices_per_warp = max(1, graph.num_vertices // num_warps)
+    for w in range(num_warps):
+        warp = WarpTrace(warp_id=w, sm_id=w % num_sms)
+        for local in range(vertices_per_warp):
+            vertex = (w * vertices_per_warp + local) % graph.num_vertices
+            start = int(graph.row_offsets[vertex])
+            degree = graph.degree(vertex)
+            for offset in range(0, max(1, degree), 32):
+                addrs = _coalesced_scan(_COLUMN_BASE, start + offset, degree - offset)
+                if not addrs:
+                    break
+                warp.append(Instruction(pc=0x300, compute_ops=1, addresses=addrs,
+                                        access=AccessType.READ))
+                for a in addrs:
+                    note_read(a)
+                # Read each neighbour's current rank (hub rank reused heavily).
+                for column_addr in addrs:
+                    idx = (column_addr - _COLUMN_BASE) // WORD_SIZE
+                    neighbour = int(graph.column_index[min(idx, graph.num_edges - 1)])
+                    rank_addr = _addr(_VALUE_BASE, neighbour)
+                    warp.append(Instruction(pc=0x308, compute_ops=2,
+                                            addresses=[rank_addr], access=AccessType.READ))
+                    note_read(rank_addr)
+            # Write this vertex's new rank.
+            out_addr = _addr(_VALUE_BASE, vertex)
+            warp.append(Instruction(pc=0x400, compute_ops=1,
+                                    addresses=[out_addr], access=AccessType.WRITE))
+            note_write(out_addr)
+        trace.warps.append(warp)
+
+    footprint_bytes = max(
+        _VALUE_BASE + graph.num_vertices * WORD_SIZE,
+        _COLUMN_BASE + graph.num_edges * WORD_SIZE,
+    )
+    trace.footprint_pages = footprint_bytes // PAGE_SIZE
+    return trace

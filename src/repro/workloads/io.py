@@ -1,0 +1,99 @@
+"""Serialise and deserialise workload traces (JSON).
+
+Lets a generated workload be saved to disk and replayed, so an experiment is
+reproducible without re-running the (seeded) generator, and so externally
+captured traces could be fed into the simulator in the same format.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.gpu.warp import Instruction, WarpTrace
+from repro.sim.request import AccessType
+from repro.workloads.trace import WorkloadSpec, WorkloadTrace
+
+
+def spec_to_dict(spec: WorkloadSpec) -> Dict:
+    return {
+        "name": spec.name,
+        "suite": spec.suite,
+        "read_ratio": spec.read_ratio,
+        "kernels": spec.kernels,
+        "read_reaccess": spec.read_reaccess,
+        "write_redundancy": spec.write_redundancy,
+        "sequential_fraction": spec.sequential_fraction,
+        "compute_per_memory": spec.compute_per_memory,
+        "footprint_pages": spec.footprint_pages,
+        "zipf_alpha": spec.zipf_alpha,
+    }
+
+
+def spec_from_dict(data: Dict) -> WorkloadSpec:
+    return WorkloadSpec(**data)
+
+
+def trace_to_dict(trace: WorkloadTrace) -> Dict:
+    """Serialise a workload trace to a JSON-friendly dict."""
+    return {
+        "spec": spec_to_dict(trace.spec),
+        "footprint_pages": trace.footprint_pages,
+        "warps": [
+            {
+                "warp_id": warp.warp_id,
+                "sm_id": warp.sm_id,
+                "instructions": [
+                    {
+                        "pc": instr.pc,
+                        "compute_ops": instr.compute_ops,
+                        "addresses": instr.addresses,
+                        "access": instr.access.value,
+                    }
+                    for instr in warp.instructions
+                ],
+            }
+            for warp in trace.warps
+        ],
+        "page_read_counts": {str(k): v for k, v in trace.page_read_counts.items()},
+        "page_write_counts": {str(k): v for k, v in trace.page_write_counts.items()},
+    }
+
+
+def trace_from_dict(data: Dict) -> WorkloadTrace:
+    """Reconstruct a workload trace from its serialised form."""
+    trace = WorkloadTrace(spec=spec_from_dict(data["spec"]))
+    trace.footprint_pages = data.get("footprint_pages", 0)
+    for warp_data in data["warps"]:
+        warp = WarpTrace(warp_id=warp_data["warp_id"], sm_id=warp_data["sm_id"])
+        for instr_data in warp_data["instructions"]:
+            warp.append(
+                Instruction(
+                    pc=instr_data["pc"],
+                    compute_ops=instr_data["compute_ops"],
+                    addresses=list(instr_data["addresses"]),
+                    access=AccessType(instr_data["access"]),
+                )
+            )
+        trace.warps.append(warp)
+    trace.page_read_counts = {int(k): v for k, v in data["page_read_counts"].items()}
+    trace.page_write_counts = {int(k): v for k, v in data["page_write_counts"].items()}
+    return trace
+
+
+def save_trace(trace: WorkloadTrace, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace_to_dict(trace), handle)
+
+
+def load_trace(path: str) -> WorkloadTrace:
+    with open(path, "r", encoding="utf-8") as handle:
+        return trace_from_dict(json.load(handle))
+
+
+def dumps(trace: WorkloadTrace) -> str:
+    return json.dumps(trace_to_dict(trace))
+
+
+def loads(text: str) -> WorkloadTrace:
+    return trace_from_dict(json.loads(text))

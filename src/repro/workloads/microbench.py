@@ -1,0 +1,144 @@
+"""Micro-workload generators for the motivation experiments.
+
+Figures 4c (peak throughput) and 4d (latency breakdown) are driven by simple,
+well-understood access patterns rather than full applications.  This module
+builds those patterns as warp traces:
+
+* **streaming** — each warp reads a contiguous region once (bandwidth probe),
+* **pointer_chase** — each warp follows a dependent chain of single accesses
+  (latency probe, the pattern behind Figure 4d),
+* **stencil** — each warp reads a small neighbourhood repeatedly (locality
+  probe, exercises the read prefetcher and L2 reuse),
+* **hammer** — all warps write the same few pages (write-redundancy probe,
+  exercises the flash-register cache).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpu.warp import Instruction, WarpTrace
+from repro.sim.request import AccessType
+from repro.workloads.generators import LINE_SIZE, PAGE_SIZE, WORD_SIZE
+from repro.workloads.trace import WorkloadSpec, WorkloadTrace
+
+STREAMING_SPEC = WorkloadSpec(
+    name="streaming", suite="micro", read_ratio=1.0, kernels=1,
+    read_reaccess=1.0, write_redundancy=0.0, sequential_fraction=1.0,
+)
+POINTER_CHASE_SPEC = WorkloadSpec(
+    name="pointer_chase", suite="micro", read_ratio=1.0, kernels=1,
+    read_reaccess=1.0, write_redundancy=0.0, sequential_fraction=0.0,
+)
+STENCIL_SPEC = WorkloadSpec(
+    name="stencil", suite="micro", read_ratio=1.0, kernels=1,
+    read_reaccess=9.0, write_redundancy=0.0, sequential_fraction=0.5,
+)
+HAMMER_SPEC = WorkloadSpec(
+    name="hammer", suite="micro", read_ratio=0.0, kernels=1,
+    read_reaccess=0.0, write_redundancy=64.0, sequential_fraction=0.0,
+)
+
+
+def _coalesced(base: int) -> List[int]:
+    """A fully coalesced 128 B warp access at ``base``."""
+    return [base + WORD_SIZE * t for t in range(32)]
+
+
+def streaming(
+    num_warps: int = 64,
+    accesses_per_warp: int = 64,
+    num_sms: int = 16,
+    base: int = 0,
+) -> WorkloadTrace:
+    """Each warp streams ``accesses_per_warp`` contiguous 128 B lines."""
+    trace = WorkloadTrace(spec=STREAMING_SPEC)
+    pc = 0x1000
+    for w in range(num_warps):
+        warp = WarpTrace(warp_id=w, sm_id=w % num_sms)
+        region = base + w * accesses_per_warp * LINE_SIZE
+        for i in range(accesses_per_warp):
+            address = region + i * LINE_SIZE
+            warp.append(Instruction(pc=pc, compute_ops=1,
+                                    addresses=_coalesced(address), access=AccessType.READ))
+            page = address // PAGE_SIZE
+            trace.page_read_counts[page] = trace.page_read_counts.get(page, 0) + 1
+        trace.warps.append(warp)
+    trace.footprint_pages = max(1, (num_warps * accesses_per_warp * LINE_SIZE) // PAGE_SIZE)
+    return trace
+
+
+def pointer_chase(
+    num_warps: int = 16,
+    chain_length: int = 32,
+    num_sms: int = 16,
+    span_pages: int = 4096,
+    base: int = 0,
+    seed: int = 1,
+) -> WorkloadTrace:
+    """Each warp follows a dependent chain of scattered single-line reads."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    trace = WorkloadTrace(spec=POINTER_CHASE_SPEC)
+    pc = 0x2000
+    for w in range(num_warps):
+        warp = WarpTrace(warp_id=w, sm_id=w % num_sms)
+        for _ in range(chain_length):
+            page = int(rng.integers(0, span_pages))
+            line = int(rng.integers(0, PAGE_SIZE // LINE_SIZE))
+            address = base + page * PAGE_SIZE + line * LINE_SIZE
+            # A single-thread dependent access (no coalescing), high latency.
+            warp.append(Instruction(pc=pc, compute_ops=1,
+                                    addresses=[address], access=AccessType.READ))
+            trace.page_read_counts[page] = trace.page_read_counts.get(page, 0) + 1
+        trace.warps.append(warp)
+    trace.footprint_pages = span_pages
+    return trace
+
+
+def stencil(
+    num_warps: int = 64,
+    iterations: int = 32,
+    num_sms: int = 16,
+    base: int = 0,
+) -> WorkloadTrace:
+    """Each warp repeatedly reads a small 3-line neighbourhood (high reuse)."""
+    trace = WorkloadTrace(spec=STENCIL_SPEC)
+    pc = 0x3000
+    for w in range(num_warps):
+        warp = WarpTrace(warp_id=w, sm_id=w % num_sms)
+        center = base + w * PAGE_SIZE
+        for _ in range(iterations):
+            for offset in (-LINE_SIZE, 0, LINE_SIZE):
+                address = max(0, center + offset)
+                warp.append(Instruction(pc=pc + (offset + LINE_SIZE), compute_ops=2,
+                                        addresses=_coalesced(address), access=AccessType.READ))
+                page = address // PAGE_SIZE
+                trace.page_read_counts[page] = trace.page_read_counts.get(page, 0) + 1
+        trace.warps.append(warp)
+    trace.footprint_pages = max(1, num_warps)
+    return trace
+
+
+def hammer(
+    num_warps: int = 64,
+    writes_per_warp: int = 64,
+    hot_pages: int = 8,
+    num_sms: int = 16,
+    base: int = 0,
+) -> WorkloadTrace:
+    """All warps write a tiny hot set (maximal write redundancy)."""
+    trace = WorkloadTrace(spec=HAMMER_SPEC)
+    pc = 0x4000
+    for w in range(num_warps):
+        warp = WarpTrace(warp_id=w, sm_id=w % num_sms)
+        for i in range(writes_per_warp):
+            page = i % hot_pages
+            address = base + page * PAGE_SIZE
+            warp.append(Instruction(pc=pc, compute_ops=1,
+                                    addresses=_coalesced(address), access=AccessType.WRITE))
+            trace.page_write_counts[page] = trace.page_write_counts.get(page, 0) + 1
+        trace.warps.append(warp)
+    trace.footprint_pages = hot_pages
+    return trace

@@ -1,0 +1,103 @@
+"""Multi-application workload construction (Section V-A).
+
+The evaluation co-runs one read-intensive graph workload with one
+write-intensive scientific workload.  The two applications occupy disjoint
+virtual address ranges (they are separate processes sharing the GPU) and
+their warps are interleaved across the SMs, which is what stresses the shared
+memory subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.workloads.generators import PAGE_SIZE, generate_workload
+from repro.workloads.suites import MULTI_APP_MIXES, mix_name, workload_by_name
+from repro.workloads.trace import WorkloadSpec, WorkloadTrace
+
+
+@dataclass
+class MultiAppWorkload:
+    """A co-run of two applications, each with its own address range."""
+
+    name: str
+    first: WorkloadTrace
+    second: WorkloadTrace
+    combined: WorkloadTrace
+
+    @property
+    def total_footprint_pages(self) -> int:
+        return self.combined.footprint_pages
+
+    @property
+    def specs(self) -> Tuple[WorkloadSpec, WorkloadSpec]:
+        return self.first.spec, self.second.spec
+
+
+def build_mix(
+    read_app: str,
+    write_app: str,
+    scale: float = 1.0,
+    seed: Optional[int] = None,
+    num_sms: int = 16,
+    warps_per_sm: int = 4,
+    memory_instructions_per_warp: int = 64,
+) -> MultiAppWorkload:
+    """Generate one co-run mix, e.g. ``build_mix("betw", "back")``."""
+    first_spec = workload_by_name(read_app)
+    second_spec = workload_by_name(write_app)
+    first = generate_workload(
+        first_spec,
+        scale=scale,
+        seed=seed,
+        num_sms=num_sms,
+        warps_per_sm=warps_per_sm,
+        memory_instructions_per_warp=memory_instructions_per_warp,
+    )
+    # The second application lives above the first one's footprint.
+    offset_pages = first.footprint_pages
+    second = generate_workload(
+        second_spec,
+        scale=scale,
+        seed=None if seed is None else seed + 1,
+        address_space_offset=offset_pages * PAGE_SIZE,
+        num_sms=num_sms,
+        warps_per_sm=warps_per_sm,
+        memory_instructions_per_warp=memory_instructions_per_warp,
+    )
+    # Re-key the second app's page statistics into the global address space.
+    second.page_read_counts = {
+        page + offset_pages: count for page, count in second.page_read_counts.items()
+    }
+    second.page_write_counts = {
+        page + offset_pages: count for page, count in second.page_write_counts.items()
+    }
+    combined = first.merge(second)
+    return MultiAppWorkload(
+        name=mix_name(read_app, write_app), first=first, second=second, combined=combined
+    )
+
+
+def build_all_mixes(
+    scale: float = 1.0,
+    seed: Optional[int] = None,
+    num_sms: int = 16,
+    warps_per_sm: int = 4,
+    memory_instructions_per_warp: int = 64,
+    mixes: Optional[List[Tuple[str, str]]] = None,
+) -> Dict[str, MultiAppWorkload]:
+    """Build every evaluation mix (Figs 5a / 10 / 11), keyed by mix name."""
+    result: Dict[str, MultiAppWorkload] = {}
+    for read_app, write_app in mixes or MULTI_APP_MIXES:
+        mix = build_mix(
+            read_app,
+            write_app,
+            scale=scale,
+            seed=seed,
+            num_sms=num_sms,
+            warps_per_sm=warps_per_sm,
+            memory_instructions_per_warp=memory_instructions_per_warp,
+        )
+        result[mix.name] = mix
+    return result

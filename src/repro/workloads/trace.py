@@ -1,0 +1,116 @@
+"""Workload specifications and generated-trace containers.
+
+The paper characterises its workloads (Table II, Figs 5b-d) by a handful of
+statistics — read ratio, kernel count, per-page read re-access count, per-page
+write redundancy, and access locality — and that characterisation is what the
+evaluation results depend on.  :class:`WorkloadSpec` captures exactly those
+knobs; the generators synthesise warp traces that hit the published numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.gpu.warp import WarpTrace, total_instructions, total_memory_instructions
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The calibration statistics of one Table II workload."""
+
+    name: str
+    suite: str
+    read_ratio: float
+    kernels: int
+    #: Average number of times a read page is re-read (Fig. 5b).
+    read_reaccess: float
+    #: Average number of writes hitting the same page (Fig. 5c).
+    write_redundancy: float
+    #: Fraction of memory accesses that stream sequentially (CSR scans etc.).
+    sequential_fraction: float = 0.6
+    #: Arithmetic instructions per memory instruction.
+    compute_per_memory: int = 4
+    #: Footprint in 4 KB pages at scale 1.0.
+    footprint_pages: int = 4096
+    #: Zipf skew of the page popularity distribution.
+    zipf_alpha: float = 0.8
+
+    @property
+    def write_ratio(self) -> float:
+        return 1.0 - self.read_ratio
+
+    @property
+    def is_read_intensive(self) -> bool:
+        return self.read_ratio >= 0.9
+
+
+@dataclass
+class WorkloadTrace:
+    """A generated workload: warp traces plus bookkeeping for the figures."""
+
+    spec: WorkloadSpec
+    warps: List[WarpTrace] = field(default_factory=list)
+    #: Virtual page -> number of read accesses (for Fig. 5b).
+    page_read_counts: Dict[int, int] = field(default_factory=dict)
+    #: Virtual page -> number of write accesses (for Fig. 5c).
+    page_write_counts: Dict[int, int] = field(default_factory=dict)
+    footprint_pages: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def total_instructions(self) -> int:
+        return total_instructions(self.warps)
+
+    @property
+    def total_memory_instructions(self) -> int:
+        return total_memory_instructions(self.warps)
+
+    @property
+    def measured_read_ratio(self) -> float:
+        reads = sum(w.read_instructions for w in self.warps)
+        memory = self.total_memory_instructions
+        return reads / memory if memory else 0.0
+
+    @property
+    def mean_read_reaccess(self) -> float:
+        """Average reads per distinct read page (the Fig. 5b metric)."""
+        if not self.page_read_counts:
+            return 0.0
+        return float(np.mean(list(self.page_read_counts.values())))
+
+    @property
+    def mean_write_redundancy(self) -> float:
+        """Average writes per distinct written page (the Fig. 5c metric)."""
+        if not self.page_write_counts:
+            return 0.0
+        return float(np.mean(list(self.page_write_counts.values())))
+
+    @property
+    def read_fraction_of_accesses(self) -> float:
+        """Read share of all page-level accesses (the Fig. 5d metric)."""
+        reads = sum(self.page_read_counts.values())
+        writes = sum(self.page_write_counts.values())
+        total = reads + writes
+        return reads / total if total else 0.0
+
+    def merge(self, other: "WorkloadTrace") -> "WorkloadTrace":
+        """Concatenate another workload's warps (used for multi-app mixes)."""
+        merged = WorkloadTrace(spec=self.spec)
+        merged.warps = list(self.warps) + list(other.warps)
+        merged.footprint_pages = self.footprint_pages + other.footprint_pages
+        merged.page_read_counts = dict(self.page_read_counts)
+        for page, count in other.page_read_counts.items():
+            merged.page_read_counts[page] = merged.page_read_counts.get(page, 0) + count
+        merged.page_write_counts = dict(self.page_write_counts)
+        for page, count in other.page_write_counts.items():
+            merged.page_write_counts[page] = merged.page_write_counts.get(page, 0) + count
+        return merged
+
+    def touched_pages(self) -> int:
+        return len(set(self.page_read_counts) | set(self.page_write_counts))

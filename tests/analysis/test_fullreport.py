@@ -1,0 +1,19 @@
+"""Tests for the full report generator."""
+
+import pytest
+
+from repro.analysis.fullreport import generate_report
+
+
+def test_report_contains_all_sections():
+    report = generate_report(scale=0.05, mixes=[("betw", "back")])
+    for marker in [
+        "Table I", "Table II", "Figure 1b", "Figure 3a", "Figure 3b",
+        "Figure 4c", "Figure 5a", "Figure 5b", "Figure 5c",
+        "Figure 10", "Figure 11",
+    ]:
+        assert marker in report
+
+    def test_report_is_nonempty_text():
+        report = generate_report(scale=0.05, mixes=[("betw", "back")])
+        assert len(report.splitlines()) > 30

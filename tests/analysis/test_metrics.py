@@ -1,0 +1,77 @@
+"""Unit tests for the analysis metric helpers."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    bandwidth_gbps,
+    geomean_speedup,
+    mean,
+    normalized_ipc,
+    ordering_satisfied,
+    speedup,
+)
+from repro.config import GPU_FREQ_HZ
+
+
+class FakeResult:
+    def __init__(self, ipc):
+        self.ipc = ipc
+
+
+class TestNormalizedIPC:
+    def test_normalizes_to_reference(self):
+        results = {"a": FakeResult(2.0), "b": FakeResult(1.0)}
+        normalized = normalized_ipc(results, reference="b")
+        assert normalized["a"] == pytest.approx(2.0)
+        assert normalized["b"] == pytest.approx(1.0)
+
+    def test_missing_reference_raises(self):
+        with pytest.raises(KeyError):
+            normalized_ipc({"a": FakeResult(1.0)}, reference="z")
+
+    def test_zero_reference(self):
+        results = {"a": FakeResult(2.0), "b": FakeResult(0.0)}
+        normalized = normalized_ipc(results, reference="b")
+        assert all(v == 0.0 for v in normalized.values())
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(FakeResult(4.0), FakeResult(2.0)) == pytest.approx(2.0)
+
+    def test_zero_baseline(self):
+        assert speedup(FakeResult(4.0), FakeResult(0.0)) == 0.0
+
+    def test_geomean_speedup(self):
+        per_workload = {
+            "w1": {"fast": FakeResult(4.0), "slow": FakeResult(1.0)},
+            "w2": {"fast": FakeResult(9.0), "slow": FakeResult(1.0)},
+        }
+        # geomean(4, 9) = 6
+        assert geomean_speedup(per_workload, "fast", "slow") == pytest.approx(6.0)
+
+
+class TestBandwidth:
+    def test_bandwidth_conversion(self):
+        # GPU_FREQ cycles is exactly one second; moving GPU_FREQ bytes in that
+        # time is GPU_FREQ bytes/s, i.e. GPU_FREQ / 1e9 GB/s.
+        bw = bandwidth_gbps(GPU_FREQ_HZ, GPU_FREQ_HZ)
+        assert bw == pytest.approx(GPU_FREQ_HZ / 1e9)
+
+    def test_zero_cycles(self):
+        assert bandwidth_gbps(100.0, 0.0) == 0.0
+
+
+class TestHelpers:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+        assert mean([]) == 0.0
+
+    def test_ordering_satisfied(self):
+        scores = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ordering_satisfied(scores, ["a", "b", "c"])
+        assert not ordering_satisfied(scores, ["c", "b", "a"])
+
+    def test_ordering_ignores_missing(self):
+        scores = {"a": 3.0, "c": 1.0}
+        assert ordering_satisfied(scores, ["a", "b", "c"])

@@ -1,0 +1,70 @@
+"""Unit tests for the power / energy model."""
+
+import pytest
+
+from repro.analysis.power import (
+    PowerBreakdown,
+    compare_static_power_per_gb,
+    dram_subsystem_power,
+    gpu_dram_vs_znand_capacity,
+    technology_static_power,
+    znand_power,
+)
+from repro.config import GDDR5, GPU_FREQ_HZ, ZNAND_TECH
+
+
+class TestStaticPower:
+    def test_matches_technology_rate(self):
+        assert technology_static_power(GDDR5, 12.0) == pytest.approx(60.0)
+        assert technology_static_power(ZNAND_TECH, 64.0) == pytest.approx(1.28)
+
+    def test_compare_per_gb(self):
+        data = compare_static_power_per_gb()
+        assert data["GDDR5"] == max(data.values())
+        assert data["Z-NAND"] == min(data.values())
+
+
+class TestPowerBreakdown:
+    def test_total_power(self):
+        breakdown = PowerBreakdown(
+            name="x", capacity_gb=10.0, static_power_w=5.0,
+            dynamic_energy_j=2.0, runtime_s=1.0,
+        )
+        assert breakdown.dynamic_power_w == pytest.approx(2.0)
+        assert breakdown.total_power_w == pytest.approx(7.0)
+        assert breakdown.total_energy_j == pytest.approx(7.0)
+
+    def test_power_per_gb(self):
+        breakdown = PowerBreakdown(
+            name="x", capacity_gb=10.0, static_power_w=5.0,
+            dynamic_energy_j=0.0, runtime_s=1.0,
+        )
+        assert breakdown.power_per_gb == pytest.approx(0.5)
+
+    def test_zero_runtime_safe(self):
+        breakdown = PowerBreakdown("x", 1.0, 1.0, 1.0, 0.0)
+        assert breakdown.dynamic_power_w == 0.0
+
+
+class TestDRAMAndZNand:
+    def test_dram_energy_scales_with_accesses(self):
+        few = dram_subsystem_power(GDDR5, 12.0, accesses=100, runtime_cycles=GPU_FREQ_HZ)
+        many = dram_subsystem_power(GDDR5, 12.0, accesses=1000, runtime_cycles=GPU_FREQ_HZ)
+        assert many.dynamic_energy_j > few.dynamic_energy_j
+
+    def test_znand_program_costs_more_than_read(self):
+        reads = znand_power(64.0, reads=100, programs=0, erases=0, runtime_cycles=GPU_FREQ_HZ)
+        programs = znand_power(64.0, reads=0, programs=100, erases=0, runtime_cycles=GPU_FREQ_HZ)
+        assert programs.dynamic_energy_j > reads.dynamic_energy_j
+
+    def test_znand_lower_static_power_than_gddr5(self):
+        znand = znand_power(64.0, reads=0, programs=0, erases=0, runtime_cycles=GPU_FREQ_HZ)
+        dram = dram_subsystem_power(GDDR5, 12.0, accesses=0, runtime_cycles=GPU_FREQ_HZ)
+        # Z-NAND provisions 64 GB at less static power than 12 GB of GDDR5.
+        assert znand.static_power_w < dram.static_power_w
+
+
+class TestCapacityArgument:
+    def test_znand_provisions_more_per_watt(self):
+        data = gpu_dram_vs_znand_capacity()
+        assert data["Z-NAND"] > data["GDDR5"] * 100

@@ -1,0 +1,47 @@
+"""Tests for the sensitivity-analysis sweeps."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis import sensitivity
+from repro.config import PlatformConfig
+
+
+class TestSweeps:
+    def test_registers_sweep_covers_values(self):
+        results = sensitivity.sweep_registers_per_plane(values=[2, 8], scale=0.1)
+        assert set(results) == {2, 8}
+        for result in results.values():
+            assert result.ipc > 0
+
+    def test_more_registers_improves_hit_rate(self):
+        results = sensitivity.sweep_registers_per_plane(values=[2, 16], scale=0.12)
+        hit2 = results[2].extra.get("register_hit_rate", 0.0)
+        hit16 = results[16].extra.get("register_hit_rate", 0.0)
+        assert hit16 >= hit2 - 0.05
+
+    def test_l2_sweep(self):
+        results = sensitivity.sweep_l2_size(sizes_mb=[6, 24], scale=0.1)
+        assert set(results) == {6, 24}
+
+    def test_larger_l2_no_worse_hit_rate(self):
+        results = sensitivity.sweep_l2_size(sizes_mb=[6, 48], scale=0.12)
+        assert results[48].l2_hit_rate >= results[6].l2_hit_rate - 0.05
+
+    def test_prefetch_threshold_sweep(self):
+        results = sensitivity.sweep_prefetch_threshold(thresholds=[1, 12], scale=0.1)
+        assert set(results) == {1, 12}
+
+    def test_interconnect_sweep(self):
+        results = sensitivity.sweep_interconnect(scale=0.1)
+        assert set(results) == {"swnet", "fcnet", "nif"}
+
+    def test_generic_sweep(self):
+        def apply(config: PlatformConfig, value):
+            return config.copy(
+                register_cache=replace(config.register_cache, registers_per_plane=value)
+            )
+
+        results = sensitivity.generic_sweep(apply, values=[4, 8], scale=0.1)
+        assert set(results) == {4, 8}

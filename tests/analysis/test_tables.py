@@ -1,0 +1,44 @@
+"""Tests for the configuration/workload table reproduction."""
+
+import pytest
+
+from repro.analysis.tables import table_1_configuration, table_2_workloads
+
+
+class TestTable1:
+    def test_structure(self):
+        table = table_1_configuration()
+        assert "GPU" in table
+        assert "Z-NAND array" in table
+        assert "STT-MRAM L2" in table
+
+    def test_gpu_values(self):
+        gpu = table_1_configuration()["GPU"]
+        assert gpu["SMs"] == 16
+        assert gpu["frequency_ghz"] == pytest.approx(1.2)
+        assert gpu["max_warps_per_sm"] == 80
+
+    def test_znand_values(self):
+        znand = table_1_configuration()["Z-NAND array"]
+        assert znand["channels"] == 16
+        assert znand["cell_type"] == "SLC"
+        assert znand["read_latency_us"] == 3.0
+        assert znand["program_latency_us"] == 100.0
+
+    def test_stt_mram_values(self):
+        stt = table_1_configuration()["STT-MRAM L2"]
+        assert stt["size_mb"] == 24
+        assert stt["write_latency_cycles"] == 5
+
+
+class TestTable2:
+    def test_sixteen_workloads(self):
+        assert len(table_2_workloads()) == 16
+
+    def test_rows_have_expected_fields(self):
+        for row in table_2_workloads():
+            assert set(row) == {"workload", "suite", "read_ratio", "kernels"}
+
+    def test_deg_is_read_only(self):
+        rows = {r["workload"]: r for r in table_2_workloads()}
+        assert rows["deg"]["read_ratio"] == 1.0

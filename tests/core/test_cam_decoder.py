@@ -1,0 +1,109 @@
+"""Unit and property tests for the bit-level CAM programmable decoder."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cam_decoder import CAMRow, ProgrammableDecoderCAM
+
+
+class TestKeyEncoding:
+    def test_encode_length(self):
+        cam = ProgrammableDecoderCAM(pages_per_block=8, address_bits=16)
+        bits = cam.encode_key(3, 5)
+        assert len(bits) == 16
+        assert all(b in (0, 1) for b in bits)
+
+    def test_distinct_keys_distinct_encodings(self):
+        cam = ProgrammableDecoderCAM(pages_per_block=8)
+        assert cam.encode_key(1, 0) != cam.encode_key(0, 1)
+        assert cam.encode_key(2, 3) != cam.encode_key(2, 4)
+
+
+class TestProgramSearch:
+    def test_program_then_search(self):
+        cam = ProgrammableDecoderCAM(pages_per_block=8)
+        page = cam.program(3, 5)
+        assert cam.search(3, 5) == page
+
+    def test_search_miss(self):
+        cam = ProgrammableDecoderCAM(pages_per_block=8)
+        assert cam.search(1, 1) is None
+
+    def test_in_order_allocation(self):
+        cam = ProgrammableDecoderCAM(pages_per_block=8)
+        first = cam.program(0, 0)
+        second = cam.program(0, 1)
+        assert second == first + 1
+
+    def test_rewrite_returns_latest(self):
+        cam = ProgrammableDecoderCAM(pages_per_block=8)
+        cam.program(0, 0)
+        latest = cam.program(0, 0)
+        assert cam.search(0, 0) == latest
+
+    def test_full_decoder_raises(self):
+        cam = ProgrammableDecoderCAM(pages_per_block=2)
+        cam.program(0, 0)
+        cam.program(0, 1)
+        assert cam.is_full
+        with pytest.raises(RuntimeError):
+            cam.program(0, 2)
+
+    def test_statistics(self):
+        cam = ProgrammableDecoderCAM(pages_per_block=8)
+        cam.program(0, 0)
+        cam.search(0, 0)
+        cam.search(9, 9)
+        assert cam.programs == 1
+        assert cam.searches == 2
+        assert cam.matches == 1
+
+    def test_occupancy_and_reset(self):
+        cam = ProgrammableDecoderCAM(pages_per_block=8)
+        cam.program(0, 0)
+        assert cam.occupancy == 1
+        cam.reset()
+        assert cam.occupancy == 0
+        assert cam.search(0, 0) is None
+
+
+class TestCAMRow:
+    def test_program_sets_valid(self):
+        row = CAMRow(wordline=0)
+        row.program([1, 0, 1], payload=7)
+        assert row.valid
+        assert row.payload == 7
+        assert row.bits == [1, 0, 1]
+
+
+class TestEquivalenceWithLPMT:
+    """The bit-level CAM must behave like the logical LPMT abstraction."""
+
+    def test_matches_lpmt_semantics(self):
+        from repro.core.lpmt import LogPageMappingTable
+
+        cam = ProgrammableDecoderCAM(pages_per_block=16)
+        lpmt = LogPageMappingTable(plbn=0, pages_per_block=16)
+        operations = [(0, 0), (1, 2), (0, 0), (3, 3), (1, 2)]
+        for pdbn, page_index in operations:
+            cam_page = cam.program(pdbn, page_index)
+            lpmt_page = lpmt.program(pdbn, page_index)
+            assert cam_page == lpmt_page
+        for pdbn, page_index in {(0, 0), (1, 2), (3, 3)}:
+            assert cam.search(pdbn, page_index) == lpmt.search(pdbn, page_index)
+
+
+class TestProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 7)), min_size=1, max_size=30
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_latest_write_wins(self, ops):
+        cam = ProgrammableDecoderCAM(pages_per_block=64)
+        last_page = {}
+        for pdbn, page_index in ops:
+            last_page[(pdbn, page_index)] = cam.program(pdbn, page_index)
+        for key, expected in last_page.items():
+            assert cam.search(*key) == expected

@@ -1,0 +1,57 @@
+"""Unit tests for the helper-thread garbage collector."""
+
+import pytest
+
+from repro.config import FTLConfig, ZNANDConfig
+from repro.core.helper_gc import HelperThreadGC
+from repro.core.zero_overhead_ftl import ZeroOverheadFTL
+from repro.ssd.flash_network import FlashNetwork
+from repro.ssd.znand import ZNANDArray
+
+
+def make_ftl(pages_per_block=4, blocks=32):
+    config = ZNANDConfig(
+        channels=2, dies_per_package=1, planes_per_die=2,
+        blocks_per_plane=blocks, pages_per_block=pages_per_block,
+    )
+    array = ZNANDArray(config, network=FlashNetwork(config, "mesh"))
+    ftl = ZeroOverheadFTL(array, FTLConfig(data_blocks_per_log_block=4))
+    gc = HelperThreadGC(ftl, array)
+    ftl.helper_gc = gc
+    return ftl, array, gc
+
+
+class TestHelperGC:
+    def test_merge_empty_log_block(self):
+        ftl, _, gc = make_ftl()
+        entry = ftl.map_virtual_block(0)
+        completion = gc.merge_group(entry.plbn, now=0.0)
+        assert completion >= HelperThreadGC.LAUNCH_OVERHEAD_CYCLES
+
+    def test_merge_after_writes(self):
+        ftl, array, gc = make_ftl(pages_per_block=4)
+        entry = ftl.map_virtual_block(0)
+        for page in range(4):
+            ftl.allocate_write(page, now=0.0)
+            array.program_page(ftl.ppn_in_block(entry.plbn, page), now=0.0)
+        completion = gc.merge_group(entry.plbn, now=0.0)
+        assert completion > 0.0
+        assert gc.merges == 1
+
+    def test_merge_allocates_new_log_block(self):
+        ftl, array, gc = make_ftl(pages_per_block=4)
+        entry = ftl.map_virtual_block(0)
+        original_plbn = entry.plbn
+        for page in range(4):
+            ftl.allocate_write(page, now=0.0)
+        gc.merge_group(original_plbn, now=0.0)
+        # The virtual block's log block must have changed after the merge.
+        assert ftl.dbmt.lookup(0).plbn != original_plbn
+
+    def test_gc_triggered_via_ftl(self):
+        ftl, _, gc = make_ftl(pages_per_block=4)
+        ftl.map_virtual_block(0)
+        for i in range(12):
+            ftl.allocate_write(i % 4, now=float(i))
+        assert gc.merges >= 1
+        assert gc.blocks_erased >= 1

@@ -1,0 +1,77 @@
+"""Unit tests for the SWnet software I/O permutation routers."""
+
+import pytest
+
+from repro.config import ZNANDConfig
+from repro.core.io_permutation import SoftwareIOPermutation, SoftwareRouter
+from repro.ssd.flash_network import FlashNetwork
+
+
+def make_permutation():
+    config = ZNANDConfig(channels=4, dies_per_package=2, planes_per_die=2)
+    return SoftwareIOPermutation(config, FlashNetwork(config, "mesh"))
+
+
+class TestSoftwareRouter:
+    def test_local_write_no_cost(self):
+        network = FlashNetwork(ZNANDConfig(), "mesh")
+        router = SoftwareRouter(0, network)
+        assert router.local_write(0, 4096, now=100.0) == 100.0
+
+    def test_remote_write_two_traversals(self):
+        network = FlashNetwork(ZNANDConfig(), "mesh")
+        router = SoftwareRouter(0, network)
+        before = network.bytes_transferred()
+        router.route_remote_write(0, 1, 4096, now=0.0)
+        # Copy-in + redirect = two transfers worth of bytes.
+        assert network.bytes_transferred() == before + 2 * 4096
+
+    def test_same_channel_single_traversal(self):
+        network = FlashNetwork(ZNANDConfig(), "mesh")
+        router = SoftwareRouter(0, network)
+        before = network.bytes_transferred()
+        router.route_remote_write(0, 0, 4096, now=0.0)
+        assert network.bytes_transferred() == before + 4096
+
+    def test_trace_records_hops(self):
+        network = FlashNetwork(ZNANDConfig(), "mesh")
+        router = SoftwareRouter(0, network)
+        router.route_remote_write(0, 2, 4096, now=0.0, trace=True)
+        stages = [hop.stage for hop in router.hops]
+        assert stages == ["copy_in", "redirect"]
+
+    def test_statistics(self):
+        network = FlashNetwork(ZNANDConfig(), "mesh")
+        router = SoftwareRouter(0, network)
+        router.route_remote_write(0, 1, 4096, now=0.0)
+        router.route_remote_write(0, 2, 4096, now=0.0)
+        assert router.remote_writes == 2
+        assert router.bytes_routed == 8192
+
+    def test_reset(self):
+        network = FlashNetwork(ZNANDConfig(), "mesh")
+        router = SoftwareRouter(0, network)
+        router.route_remote_write(0, 1, 4096, now=0.0, trace=True)
+        router.reset()
+        assert router.remote_writes == 0
+        assert router.hops == []
+
+
+class TestSoftwareIOPermutation:
+    def test_router_per_channel(self):
+        permutation = make_permutation()
+        assert len(permutation.routers) == 4
+        assert permutation.router_for(5).router_id == 1
+
+    def test_aggregate_statistics(self):
+        permutation = make_permutation()
+        permutation.router_for(0).route_remote_write(0, 1, 4096, now=0.0)
+        permutation.router_for(1).route_remote_write(1, 2, 4096, now=0.0)
+        assert permutation.total_remote_writes == 2
+        assert permutation.total_bytes_routed == 8192
+
+    def test_reset(self):
+        permutation = make_permutation()
+        permutation.router_for(0).route_remote_write(0, 1, 4096, now=0.0)
+        permutation.reset()
+        assert permutation.total_remote_writes == 0

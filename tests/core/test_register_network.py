@@ -1,0 +1,111 @@
+"""Unit tests for the register interconnects (SWnet / FCnet / NiF)."""
+
+import pytest
+
+from repro.config import RegisterCacheConfig, ZNANDConfig
+from repro.core.register_network import (
+    FCnetRegisterNetwork,
+    NiFRegisterNetwork,
+    SWnetRegisterNetwork,
+    build_register_network,
+)
+from repro.ssd.flash_network import FlashNetwork
+from repro.ssd.znand import ZNANDArray
+
+
+def make_array():
+    config = ZNANDConfig(
+        channels=4, dies_per_package=2, planes_per_die=2,
+        blocks_per_plane=8, pages_per_block=4,
+    )
+    return ZNANDArray(config, network=FlashNetwork(config, "mesh"))
+
+
+class TestFactory:
+    def test_builds_each_type(self):
+        array = make_array()
+        assert isinstance(
+            build_register_network(array, RegisterCacheConfig(interconnect="swnet")),
+            SWnetRegisterNetwork,
+        )
+        assert isinstance(
+            build_register_network(array, RegisterCacheConfig(interconnect="fcnet")),
+            FCnetRegisterNetwork,
+        )
+        assert isinstance(
+            build_register_network(array, RegisterCacheConfig(interconnect="nif")),
+            NiFRegisterNetwork,
+        )
+
+    def test_unknown_type(self):
+        array = make_array()
+        with pytest.raises(ValueError):
+            build_register_network(array, RegisterCacheConfig(interconnect="crossbar"))
+
+
+class TestLocalTransfers:
+    def test_local_transfer_no_delay_swnet(self):
+        array = make_array()
+        net = SWnetRegisterNetwork(array, RegisterCacheConfig())
+        assert net.transfer(0, source_plane=0, dest_plane=0, num_bytes=4096, now=100.0) == 100.0
+
+    def test_local_transfer_no_delay_fcnet(self):
+        array = make_array()
+        net = FCnetRegisterNetwork(array, RegisterCacheConfig())
+        assert net.transfer(0, source_plane=0, dest_plane=0, num_bytes=4096, now=50.0) == 50.0
+
+    def test_nif_local_uses_data_path(self):
+        array = make_array()
+        net = NiFRegisterNetwork(array, RegisterCacheConfig())
+        completion = net.transfer(0, source_plane=0, dest_plane=0, num_bytes=4096, now=0.0)
+        assert completion > 0.0
+
+
+class TestRemoteTransfers:
+    def test_swnet_remote_uses_flash_network(self):
+        array = make_array()
+        net = SWnetRegisterNetwork(array, RegisterCacheConfig())
+        before = array.network.bytes_transferred()
+        net.transfer(0, source_plane=0, dest_plane=1, num_bytes=4096, now=0.0)
+        assert array.network.bytes_transferred() > before
+
+    def test_nif_remote_bypasses_flash_network(self):
+        array = make_array()
+        net = NiFRegisterNetwork(array, RegisterCacheConfig())
+        before = array.network.bytes_transferred()
+        net.transfer(0, source_plane=0, dest_plane=1, num_bytes=4096, now=0.0)
+        # NiF's local network must not touch the flash channels.
+        assert array.network.bytes_transferred() == before
+
+    def test_fcnet_remote_is_fast(self):
+        array = make_array()
+        net = FCnetRegisterNetwork(array, RegisterCacheConfig())
+        completion = net.transfer(0, source_plane=0, dest_plane=3, num_bytes=4096, now=0.0)
+        assert completion == pytest.approx(FCnetRegisterNetwork.LINK_LATENCY_CYCLES)
+
+    def test_transfer_counts(self):
+        array = make_array()
+        net = NiFRegisterNetwork(array, RegisterCacheConfig())
+        net.transfer(0, 0, 0, 4096, 0.0)
+        net.transfer(0, 0, 1, 4096, 0.0)
+        assert net.local_transfers == 1
+        assert net.remote_transfers == 1
+
+
+class TestWireCost:
+    def test_fcnet_most_expensive(self):
+        array = make_array()
+        config = RegisterCacheConfig()
+        fcnet = FCnetRegisterNetwork(array, config)
+        nif = NiFRegisterNetwork(array, config)
+        swnet = SWnetRegisterNetwork(array, config)
+        assert fcnet.wire_cost_units() > nif.wire_cost_units()
+        assert swnet.wire_cost_units() == 0.0
+
+    def test_nif_cheaper_than_fcnet(self):
+        array = make_array()
+        config = RegisterCacheConfig()
+        assert (
+            NiFRegisterNetwork(array, config).wire_cost_units()
+            < FCnetRegisterNetwork(array, config).wire_cost_units()
+        )

@@ -1,0 +1,177 @@
+"""Unit and property tests for the set-associative cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.cache import SetAssociativeCache
+
+
+def make_cache(size=4096, assoc=4, line=128):
+    return SetAssociativeCache("test", size_bytes=size, assoc=assoc, line_bytes=line)
+
+
+class TestGeometry:
+    def test_set_count(self):
+        cache = make_cache(size=4096, assoc=4, line=128)  # 32 lines, 8 sets
+        assert cache.num_sets == 8
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            make_cache(size=0)
+        with pytest.raises(ValueError):
+            SetAssociativeCache("tiny", size_bytes=128, assoc=4, line_bytes=128)
+
+    def test_line_address(self):
+        cache = make_cache()
+        assert cache.line_address(1000) == 896
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.lookup(0x1000)
+        cache.insert(0x1000)
+        assert cache.lookup(0x1000)
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_same_line_aliases(self):
+        cache = make_cache()
+        cache.insert(0x1000)
+        assert cache.lookup(0x1000 + 64)  # same 128 B line
+
+    def test_probe_does_not_touch_stats(self):
+        cache = make_cache()
+        cache.insert(0x1000)
+        cache.probe(0x1000)
+        cache.probe(0x9999)
+        assert cache.hits == 0
+        assert cache.misses == 0
+
+    def test_insert_existing_line_is_hit(self):
+        cache = make_cache()
+        cache.insert(0x1000)
+        result = cache.insert(0x1000)
+        assert result.hit
+        assert result.evicted is None
+
+    def test_lru_eviction(self):
+        cache = make_cache(size=1024, assoc=2, line=128)  # 4 sets, 2 ways
+        base = 0
+        way_stride = cache.num_sets * cache.line_bytes
+        cache.insert(base)                     # way 0
+        cache.insert(base + way_stride)        # way 1
+        cache.lookup(base)                     # make way 0 MRU
+        result = cache.insert(base + 2 * way_stride)
+        assert result.evicted is not None
+        assert result.evicted.address == base + way_stride
+
+    def test_eviction_reports_dirty(self):
+        cache = make_cache(size=1024, assoc=1, line=128)
+        stride = cache.num_sets * cache.line_bytes
+        cache.insert(0, dirty=True)
+        result = cache.insert(stride)
+        assert result.evicted is not None
+        assert result.evicted.dirty
+        assert cache.dirty_evictions == 1
+
+    def test_mark_dirty(self):
+        cache = make_cache()
+        cache.insert(0x40)
+        assert cache.mark_dirty(0x40)
+        assert not cache.mark_dirty(0xFFFF00)
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.insert(0x80)
+        assert cache.invalidate(0x80)
+        assert not cache.lookup(0x80)
+        assert not cache.invalidate(0x80)
+
+
+class TestZnGTagExtensions:
+    def test_prefetched_unaccessed_eviction_record(self):
+        cache = make_cache(size=1024, assoc=1, line=128)
+        stride = cache.num_sets * cache.line_bytes
+        cache.insert(0, prefetched=True)
+        result = cache.insert(stride)
+        assert result.evicted.prefetched
+        assert not result.evicted.accessed
+
+    def test_access_clears_waste_signal(self):
+        cache = make_cache(size=1024, assoc=1, line=128)
+        stride = cache.num_sets * cache.line_bytes
+        cache.insert(0, prefetched=True)
+        cache.lookup(0)
+        result = cache.insert(stride)
+        assert result.evicted.prefetched
+        assert result.evicted.accessed
+
+    def test_pinned_lines_survive_eviction(self):
+        cache = make_cache(size=1024, assoc=2, line=128)
+        stride = cache.num_sets * cache.line_bytes
+        cache.insert(0, pinned=True)
+        cache.insert(stride)
+        result = cache.insert(2 * stride)
+        # The pinned line must not be the victim.
+        assert result.evicted.address == stride
+
+    def test_fully_pinned_set_bypasses(self):
+        cache = make_cache(size=1024, assoc=1, line=128)
+        stride = cache.num_sets * cache.line_bytes
+        cache.insert(0, pinned=True)
+        result = cache.insert(stride)
+        assert result.bypassed
+
+    def test_unpin_all(self):
+        cache = make_cache()
+        cache.insert(0, pinned=True)
+        cache.insert(128, pinned=True)
+        assert cache.unpin_all() == 2
+        assert cache.unpin_all() == 0
+
+
+class TestStatistics:
+    def test_hit_rate(self):
+        cache = make_cache()
+        cache.insert(0)
+        cache.lookup(0)
+        cache.lookup(4096 * 64)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_occupancy_and_clear(self):
+        cache = make_cache()
+        cache.insert(0)
+        cache.insert(128)
+        assert cache.occupancy == 2
+        cache.clear()
+        assert cache.occupancy == 0
+
+
+class TestProperties:
+    @given(addresses=st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, addresses):
+        cache = make_cache(size=2048, assoc=2, line=128)
+        capacity = 2048 // 128
+        for address in addresses:
+            cache.insert(address)
+            assert cache.occupancy <= capacity
+
+    @given(addresses=st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_inserted_line_immediately_resident(self, addresses):
+        cache = make_cache(size=4096, assoc=4, line=128)
+        for address in addresses:
+            result = cache.insert(address)
+            if not result.bypassed:
+                assert cache.probe(address)
+
+    @given(addresses=st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_hits_plus_misses_equals_lookups(self, addresses):
+        cache = make_cache()
+        for address in addresses:
+            cache.lookup(address)
+            cache.insert(address)
+        assert cache.hits + cache.misses == len(addresses)

@@ -1,0 +1,47 @@
+"""Unit tests for the GPU interconnect network."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.gpu.interconnect import Interconnect
+
+
+class TestInterconnect:
+    def test_send_adds_latency(self):
+        noc = Interconnect(GPUConfig(), num_destinations=6)
+        arrival = noc.send(destination=0, num_bytes=128, now=0.0)
+        assert arrival >= GPUConfig().noc_latency_cycles
+
+    def test_traffic_statistics(self):
+        noc = Interconnect(GPUConfig(), num_destinations=4)
+        noc.send(0, 128, 0.0)
+        noc.send(1, 256, 0.0)
+        assert noc.packets == 2
+        assert noc.bytes_moved == 384
+
+    def test_destination_striping(self):
+        noc = Interconnect(GPUConfig(), num_destinations=4)
+        assert noc.route(1) is noc.route(5)
+        assert noc.route(0) is not noc.route(1)
+
+    def test_contention_on_same_link(self):
+        noc = Interconnect(GPUConfig(), num_destinations=2)
+        first = noc.send(0, 4096, 0.0)
+        second = noc.send(0, 4096, 0.0)
+        assert second > first
+
+    def test_round_trip(self):
+        noc = Interconnect(GPUConfig(), num_destinations=2)
+        completion = noc.round_trip(0, request_bytes=32, reply_bytes=128, now=0.0)
+        assert completion > 2 * GPUConfig().noc_latency_cycles
+
+    def test_invalid_destination_count(self):
+        with pytest.raises(ValueError):
+            Interconnect(GPUConfig(), num_destinations=0)
+
+    def test_reset(self):
+        noc = Interconnect(GPUConfig(), num_destinations=2)
+        noc.send(0, 128, 0.0)
+        noc.reset()
+        assert noc.packets == 0
+        assert noc.total_busy_cycles == 0.0

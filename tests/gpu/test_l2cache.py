@@ -1,0 +1,125 @@
+"""Unit tests for the banked shared L2 cache (SRAM and STT-MRAM variants)."""
+
+import pytest
+
+from repro.config import GPUConfig, STTMRAMConfig
+from repro.gpu.l2cache import SharedL2Cache
+
+
+def make_sram_l2():
+    return SharedL2Cache.from_gpu_config(GPUConfig())
+
+
+def make_stt_l2():
+    return SharedL2Cache.from_stt_mram_config(STTMRAMConfig())
+
+
+class TestConstruction:
+    def test_sram_configuration(self):
+        l2 = make_sram_l2()
+        assert l2.size_bytes == 6 * 1024 * 1024
+        assert l2.banks == 6
+        assert not l2.read_only
+
+    def test_stt_mram_configuration(self):
+        l2 = make_stt_l2()
+        assert l2.size_bytes == 24 * 1024 * 1024
+        assert l2.read_only
+        assert l2.write_latency_cycles == 5
+
+
+class TestAccessPath:
+    def test_read_miss_then_hit_after_fill(self):
+        l2 = make_sram_l2()
+        outcome = l2.access(0x1000, is_write=False, now=0.0)
+        assert not outcome.hit
+        l2.fill(0x1000, now=10.0)
+        outcome = l2.access(0x1000, is_write=False, now=20.0)
+        assert outcome.hit
+
+    def test_bank_mapping_consistent(self):
+        l2 = make_sram_l2()
+        assert l2.bank_of(0x1000) == l2.bank_of(0x1000 + 64)
+        banks = {l2.bank_of(i * 128) for i in range(12)}
+        assert len(banks) == 6  # consecutive lines stripe across all banks
+
+    def test_write_hit_marks_dirty_in_sram(self):
+        l2 = make_sram_l2()
+        l2.fill(0x2000, now=0.0)
+        outcome = l2.access(0x2000, is_write=True, now=1.0)
+        assert outcome.hit
+
+    def test_read_only_l2_bypasses_writes(self):
+        l2 = make_stt_l2()
+        l2.fill(0x3000, now=0.0)
+        outcome = l2.access(0x3000, is_write=True, now=1.0)
+        assert not outcome.hit
+        assert l2.write_bypasses == 1
+        # The stale copy must have been invalidated for coherence.
+        assert not l2.probe(0x3000)
+
+    def test_write_charges_write_latency(self):
+        l2 = make_stt_l2()
+        outcome = l2.access(0x100, is_write=True, now=0.0)
+        assert outcome.ready_cycle - 0.0 >= 5
+
+    def test_access_latency_read(self):
+        l2 = make_sram_l2()
+        outcome = l2.access(0x100, is_write=False, now=10.0)
+        assert outcome.ready_cycle >= 11.0
+
+
+class TestFills:
+    def test_fill_page_inserts_every_line(self):
+        l2 = make_stt_l2()
+        l2.fill_page(0x4000, 4096, now=0.0, prefetched=True)
+        for offset in range(0, 4096, 128):
+            assert l2.probe(0x4000 + offset)
+        assert l2.prefetch_insertions == 32
+
+    def test_fill_page_limit_bytes(self):
+        l2 = make_stt_l2()
+        l2.fill_page(0x8000, 4096, now=0.0, prefetched=True, limit_bytes=1024)
+        assert l2.probe(0x8000)
+        assert l2.probe(0x8000 + 896)
+        assert not l2.probe(0x8000 + 1024)
+
+    def test_fill_does_not_block_demand_port(self):
+        """Fills at future timestamps must not delay earlier demand accesses."""
+        l2 = make_sram_l2()
+        l2.fill(0x5000, now=1_000_000.0)
+        outcome = l2.access(0x5000 + 128 * 6, is_write=False, now=5.0)  # same bank
+        assert outcome.ready_cycle < 1_000.0
+
+    def test_eviction_records_drained(self):
+        l2 = SharedL2Cache(
+            name="tiny", size_bytes=6 * 2 * 128, assoc=1, line_bytes=128,
+            banks=6, read_latency_cycles=1, write_latency_cycles=1,
+        )
+        for i in range(64):
+            l2.fill(i * 128, now=0.0, prefetched=True)
+        records = l2.drain_evictions()
+        assert records
+        assert l2.drain_evictions() == []
+
+    def test_pin_lines_and_unpin(self):
+        l2 = make_stt_l2()
+        l2.pin_lines([0x0, 0x80], now=0.0)
+        assert l2.probe(0x0)
+        assert l2.unpin_all() == 2
+
+
+class TestStatistics:
+    def test_hit_rate(self):
+        l2 = make_sram_l2()
+        l2.fill(0x0, now=0.0)
+        l2.access(0x0, is_write=False, now=1.0)
+        l2.access(0x10000, is_write=False, now=2.0)
+        assert l2.hit_rate == pytest.approx(0.5)
+
+    def test_reset_statistics(self):
+        l2 = make_sram_l2()
+        l2.access(0x0, is_write=False, now=0.0)
+        l2.reset_statistics()
+        assert l2.hits == 0
+        assert l2.misses == 0

@@ -1,0 +1,56 @@
+"""Tests for the pluggable cache replacement policies."""
+
+import pytest
+
+from repro.gpu.replacement import (
+    FIFOPolicy,
+    LFUPolicy,
+    LRUPolicy,
+    MRUPolicy,
+    build_policy,
+)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("lru", LRUPolicy), ("fifo", FIFOPolicy),
+        ("lfu", LFUPolicy), ("mru", MRUPolicy),
+    ])
+    def test_build(self, name, cls):
+        assert isinstance(build_policy(name), cls)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            build_policy("clock")
+
+
+class TestPolicies:
+    def test_lru_evicts_least_recent(self):
+        policy = LRUPolicy()
+        last_use = {10: 1, 20: 5, 30: 3}
+        assert policy.victim(last_use, {}, {}) == 10
+
+    def test_mru_evicts_most_recent(self):
+        policy = MRUPolicy()
+        last_use = {10: 1, 20: 5, 30: 3}
+        assert policy.victim(last_use, {}, {}) == 20
+
+    def test_fifo_evicts_oldest_inserted(self):
+        policy = FIFOPolicy()
+        insert_order = {10: 1, 20: 2, 30: 0}
+        assert policy.victim({}, insert_order, {}) == 30
+
+    def test_lfu_evicts_least_frequent(self):
+        policy = LFUPolicy()
+        frequency = {10: 5, 20: 1, 30: 3}
+        assert policy.victim({10: 9, 20: 9, 30: 9}, {}, frequency) == 20
+
+    def test_lfu_breaks_ties_by_recency(self):
+        policy = LFUPolicy()
+        frequency = {10: 2, 20: 2}
+        last_use = {10: 1, 20: 5}
+        assert policy.victim(last_use, {}, frequency) == 10
+
+    def test_empty_set(self):
+        for policy in (LRUPolicy(), FIFOPolicy(), LFUPolicy(), MRUPolicy()):
+            assert policy.victim({}, {}, {}) is None

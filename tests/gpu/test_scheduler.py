@@ -1,0 +1,78 @@
+"""Unit tests for the warp scheduling policies."""
+
+import pytest
+
+from repro.gpu.scheduler import (
+    GreedyThenOldest,
+    LooseRoundRobin,
+    TwoLevel,
+    WarpState,
+    build_scheduler,
+)
+
+
+def states(*specs):
+    """Build WarpState list from (warp_id, ready_cycle) tuples."""
+    return [WarpState(warp_id=wid, ready_cycle=rc) for wid, rc in specs]
+
+
+class TestFactory:
+    def test_build_each(self):
+        for name in ("lrr", "gto", "two_level"):
+            assert build_scheduler(name).name == name
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            build_scheduler("fifo")
+
+
+class TestLooseRoundRobin:
+    def test_rotates(self):
+        sched = LooseRoundRobin()
+        ready = states((0, 0.0), (1, 0.0), (2, 0.0))
+        first = sched.pick(ready, now=0.0)
+        second = sched.pick(ready, now=0.0)
+        assert first != second
+
+    def test_skips_not_ready(self):
+        sched = LooseRoundRobin()
+        ready = states((0, 100.0), (1, 0.0))
+        assert sched.pick(ready, now=0.0) == 1
+
+    def test_none_ready(self):
+        sched = LooseRoundRobin()
+        assert sched.pick(states((0, 100.0)), now=0.0) is None
+
+
+class TestGreedyThenOldest:
+    def test_sticks_to_current(self):
+        sched = GreedyThenOldest()
+        ready = states((0, 0.0), (1, 0.0))
+        first = sched.pick(ready, now=0.0)
+        second = sched.pick(ready, now=0.0)
+        assert first == second
+
+    def test_switches_when_current_stalls(self):
+        sched = GreedyThenOldest()
+        sched.pick(states((0, 0.0), (1, 0.0)), now=0.0)  # picks 0
+        # Now warp 0 is not ready; must switch.
+        nxt = sched.pick(states((0, 100.0), (1, 0.0)), now=0.0)
+        assert nxt == 1
+
+    def test_none_ready(self):
+        sched = GreedyThenOldest()
+        assert sched.pick(states((0, 50.0)), now=0.0) is None
+
+
+class TestTwoLevel:
+    def test_limits_active_set(self):
+        sched = TwoLevel(fetch_group=2)
+        ready = states((0, 0.0), (1, 0.0), (2, 0.0), (3, 0.0))
+        # Only warps 0 and 1 are in the active group.
+        picks = {sched.pick(ready, now=0.0) for _ in range(6)}
+        assert picks <= {0, 1}
+
+    def test_falls_through_when_active_stalled(self):
+        sched = TwoLevel(fetch_group=2)
+        ready = states((0, 100.0), (1, 100.0), (2, 0.0), (3, 0.0))
+        assert sched.pick(ready, now=0.0) in {2, 3}

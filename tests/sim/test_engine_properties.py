@@ -1,0 +1,97 @@
+"""Additional property-based tests for the queueing-network engine invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import BandwidthResource, Resource, ResourcePool
+
+
+class TestResourceInvariants:
+    @given(
+        arrivals=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e5),
+                st.floats(min_value=0.0, max_value=1e3),
+            ),
+            min_size=1,
+            max_size=50,
+        ),
+        ports=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_start_never_before_arrival(self, arrivals, ports):
+        resource = Resource("r", ports=ports)
+        for when, duration in arrivals:
+            start = resource.acquire(when, duration)
+            assert start >= when - 1e-9
+
+    @given(
+        arrivals=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e4),
+                st.floats(min_value=0.1, max_value=100.0),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_single_port_no_overlap(self, arrivals):
+        """With one port, service intervals never overlap."""
+        resource = Resource("r", ports=1)
+        intervals = []
+        for when, duration in arrivals:
+            start = resource.acquire(when, duration)
+            intervals.append((start, start + duration))
+        intervals.sort()
+        for (_, end), (next_start, _) in zip(intervals, intervals[1:]):
+            assert next_start >= end - 1e-6
+
+    @given(ports=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=20, deadline=None)
+    def test_parallel_arrivals_use_all_ports(self, ports):
+        """``ports`` simultaneous arrivals all start at t=0."""
+        resource = Resource("r", ports=ports)
+        starts = [resource.acquire(0.0, 10.0) for _ in range(ports)]
+        assert all(s == 0.0 for s in starts)
+        # The (ports+1)-th must wait.
+        assert resource.acquire(0.0, 10.0) == pytest.approx(10.0)
+
+
+class TestBandwidthInvariants:
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=8192), min_size=1, max_size=40),
+        bw=st.floats(min_value=1.0, max_value=256.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_total_bytes_conserved(self, sizes, bw):
+        link = BandwidthResource("l", bytes_per_cycle=bw)
+        for size in sizes:
+            link.transfer(0.0, size)
+        assert link.bytes_transferred == sum(sizes)
+
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=4096), min_size=1, max_size=30),
+        bw=st.floats(min_value=1.0, max_value=64.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_serial_transfers_accumulate_time(self, sizes, bw):
+        """Back-to-back transfers on one link finish no earlier than their sum."""
+        link = BandwidthResource("l", bytes_per_cycle=bw)
+        completion = 0.0
+        for size in sizes:
+            completion = link.transfer(0.0, size)
+        min_time = sum(s / bw for s in sizes)
+        assert completion >= min_time - 1e-6
+
+
+class TestPoolInvariants:
+    @given(
+        indices=st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=50),
+        pool_size=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_indexing_wraps(self, indices, pool_size):
+        pool = ResourcePool([Resource(f"r{i}") for i in range(pool_size)])
+        for index in indices:
+            assert pool[index] is pool.resources[index % pool_size]

@@ -1,0 +1,64 @@
+"""Unit tests for memory request / result records."""
+
+import pytest
+
+from repro.sim.request import AccessType, MemoryRequest, RequestResult
+
+
+class TestAccessType:
+    def test_read_flags(self):
+        assert AccessType.READ.is_read
+        assert not AccessType.READ.is_write
+
+    def test_write_flags(self):
+        assert AccessType.WRITE.is_write
+        assert not AccessType.WRITE.is_read
+
+
+class TestMemoryRequest:
+    def test_defaults(self):
+        request = MemoryRequest(address=0x1000)
+        assert request.size == 128
+        assert request.is_read
+        assert request.physical_address is None
+
+    def test_page_number(self):
+        request = MemoryRequest(address=5 * 4096 + 123)
+        assert request.page_number() == 5
+        assert request.page_number(page_size=8192) == 2
+
+    def test_line_address(self):
+        request = MemoryRequest(address=1000)
+        assert request.line_address(128) == 896
+
+    def test_translated_records_physical(self):
+        request = MemoryRequest(address=0x2000)
+        returned = request.translated(0xdead000)
+        assert returned is request
+        assert request.physical_address == 0xdead000
+
+    def test_write_request(self):
+        request = MemoryRequest(address=0, access=AccessType.WRITE)
+        assert request.is_write
+
+
+class TestRequestResult:
+    def test_latency(self):
+        request = MemoryRequest(address=0)
+        result = RequestResult(request=request, start_cycle=10.0, completion_cycle=35.0)
+        assert result.latency == 25.0
+
+    def test_breakdown_accumulates(self):
+        request = MemoryRequest(address=0)
+        result = RequestResult(request=request, start_cycle=0.0, completion_cycle=0.0)
+        result.add_latency("l2", 5.0)
+        result.add_latency("l2", 3.0)
+        result.add_latency("flash", 100.0)
+        assert result.breakdown == {"l2": 8.0, "flash": 100.0}
+
+    def test_breakdown_ignores_nonpositive(self):
+        request = MemoryRequest(address=0)
+        result = RequestResult(request=request, start_cycle=0.0, completion_cycle=0.0)
+        result.add_latency("noop", 0.0)
+        result.add_latency("negative", -5.0)
+        assert result.breakdown == {}

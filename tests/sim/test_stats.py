@@ -1,0 +1,123 @@
+"""Unit tests for the statistics collector."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.stats import Counter, Histogram, StatsCollector, geometric_mean, ratio
+
+
+class TestCounter:
+    def test_add_and_reset(self):
+        counter = Counter("c")
+        counter.add()
+        counter.add(2.5)
+        assert counter.value == 3.5
+        counter.reset()
+        assert counter.value == 0.0
+
+
+class TestHistogram:
+    def test_basic_statistics(self):
+        histogram = Histogram("h")
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            histogram.add(value)
+        assert histogram.count == 4
+        assert histogram.mean == pytest.approx(2.5)
+        assert histogram.maximum == 4.0
+        assert histogram.minimum == 1.0
+        assert histogram.total == 10.0
+
+    def test_empty_histogram(self):
+        histogram = Histogram("h")
+        assert histogram.mean == 0.0
+        assert histogram.maximum == 0.0
+        assert histogram.percentile(0.5) == 0.0
+
+    def test_percentile(self):
+        histogram = Histogram("h")
+        for value in range(1, 101):
+            histogram.add(float(value))
+        assert histogram.percentile(0.5) == pytest.approx(50.0)
+        assert histogram.percentile(0.99) == pytest.approx(99.0)
+        assert histogram.percentile(1.0) == pytest.approx(100.0)
+
+    def test_percentile_rejects_out_of_range(self):
+        histogram = Histogram("h")
+        histogram.add(1.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(1.5)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_mean_bounded_by_extremes(self, values):
+        histogram = Histogram("h")
+        for value in values:
+            histogram.add(value)
+        assert histogram.minimum - 1e-6 <= histogram.mean <= histogram.maximum + 1e-6
+
+
+class TestStatsCollector:
+    def test_counters(self):
+        stats = StatsCollector()
+        stats.add("requests")
+        stats.add("requests", 2)
+        assert stats.get("requests") == 3
+        assert stats.get("missing", default=-1) == -1
+
+    def test_histograms(self):
+        stats = StatsCollector()
+        stats.sample("latency", 10.0)
+        stats.sample("latency", 20.0)
+        assert stats.histogram("latency").mean == 15.0
+
+    def test_breakdown_fractions_sum_to_one(self):
+        stats = StatsCollector()
+        stats.add_breakdown({"a": 30.0, "b": 70.0})
+        fractions = stats.breakdown_fractions()
+        assert fractions["a"] == pytest.approx(0.3)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_breakdown_empty(self):
+        assert StatsCollector().breakdown_fractions() == {}
+
+    def test_merge(self):
+        a = StatsCollector()
+        b = StatsCollector()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.sample("lat", 5.0)
+        b.add_breakdown({"c": 10.0})
+        a.merge(b)
+        assert a.get("x") == 3
+        assert a.histogram("lat").count == 1
+        assert a.breakdown["c"] == 10.0
+
+    def test_as_dict(self):
+        stats = StatsCollector()
+        stats.add("x", 4)
+        stats.sample("lat", 2.0)
+        summary = stats.as_dict()
+        assert summary["x"] == 4
+        assert summary["lat.mean"] == 2.0
+        assert summary["lat.count"] == 1
+
+    def test_reset(self):
+        stats = StatsCollector()
+        stats.add("x")
+        stats.sample("lat", 1.0)
+        stats.add_breakdown({"c": 1.0})
+        stats.reset()
+        assert stats.get("x") == 0
+        assert stats.histogram("lat").count == 0
+        assert not stats.breakdown
+
+
+class TestHelpers:
+    def test_ratio_handles_zero(self):
+        assert ratio(1.0, 0.0) == 0.0
+        assert ratio(6.0, 3.0) == 2.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0.0, 4.0]) == pytest.approx(4.0)  # zeros are skipped

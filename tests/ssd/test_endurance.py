@@ -1,0 +1,72 @@
+"""Unit tests for the Z-NAND endurance / lifetime model."""
+
+import pytest
+
+from repro.config import ZNANDConfig
+from repro.ssd.endurance import EnduranceModel
+from repro.ssd.flash_network import FlashNetwork
+from repro.ssd.ftl_firmware import PageMappedFTL
+from repro.ssd.znand import ZNANDArray
+
+
+def make_model():
+    config = ZNANDConfig(
+        channels=2, dies_per_package=1, planes_per_die=2,
+        blocks_per_plane=8, pages_per_block=4,
+    )
+    array = ZNANDArray(config, network=FlashNetwork(config, "mesh"))
+    return EnduranceModel(array, config), array, config
+
+
+class TestEnduranceReport:
+    def test_fresh_device(self):
+        model, _, config = make_model()
+        report = model.report()
+        assert report.pe_cycle_limit == config.pe_cycle_limit
+        assert report.max_erase_count == 0
+        assert report.wear_fraction == 0.0
+        assert report.remaining_pe_cycles == config.pe_cycle_limit
+
+    def test_write_amplification(self):
+        model, array, _ = make_model()
+        model.record_host_writes(4)
+        for ppn in range(8):
+            array.program_page(ppn, now=0.0)
+        report = model.report()
+        # 8 programs for 4 host writes => WAF 2.
+        assert report.write_amplification == pytest.approx(2.0)
+
+    def test_wear_fraction_tracks_erases(self):
+        model, array, config = make_model()
+        for _ in range(10):
+            array.erase_block(0, 0, now=0.0)
+        report = model.report()
+        assert report.max_erase_count == 10
+        assert report.wear_fraction == pytest.approx(10 / config.pe_cycle_limit)
+
+
+class TestLifetime:
+    def test_infinite_without_writes(self):
+        model, _, _ = make_model()
+        assert model.estimate_lifetime_days(0.0, 1.0) == float("inf")
+
+    def test_higher_write_rate_shortens_life(self):
+        model, array, _ = make_model()
+        model.record_host_writes(100)
+        for ppn in range(100):
+            array.program_page(ppn % array.geometry.total_pages, now=0.0)
+        slow = model.estimate_lifetime_days(1e3, 1.0)
+        fast = model.estimate_lifetime_days(1e6, 1.0)
+        assert fast < slow
+
+
+class TestEnduranceGain:
+    def test_buffering_extends_endurance(self):
+        model, _, _ = make_model()
+        # 1000 host writes absorbed into 100 flash programs => 11x endurance.
+        gain = model.endurance_gain_from_buffering(writes_absorbed=900, writes_programmed=100)
+        assert gain == pytest.approx(10.0)
+
+    def test_no_programs_is_infinite(self):
+        model, _, _ = make_model()
+        assert model.endurance_gain_from_buffering(100, 0) == float("inf")

@@ -1,0 +1,62 @@
+"""Unit tests for the bus and mesh flash networks."""
+
+import pytest
+
+from repro.config import ZNANDConfig
+from repro.ssd.flash_network import FlashNetwork
+
+
+class TestFlashNetwork:
+    def test_bus_narrower_than_mesh(self):
+        config = ZNANDConfig()
+        bus = FlashNetwork(config, network_type="bus")
+        mesh = FlashNetwork(config, network_type="mesh")
+        assert mesh.per_channel_bandwidth_bytes_per_s > bus.per_channel_bandwidth_bytes_per_s
+
+    def test_mesh_is_8x_bus(self):
+        """Table I: flash network bus width 8 B vs conventional 1 B channel."""
+        config = ZNANDConfig()
+        bus = FlashNetwork(config, network_type="bus")
+        mesh = FlashNetwork(config, network_type="mesh")
+        ratio = mesh.per_channel_bandwidth_bytes_per_s / bus.per_channel_bandwidth_bytes_per_s
+        assert ratio == pytest.approx(8.0)
+
+    def test_transfer_completion(self):
+        network = FlashNetwork(ZNANDConfig(), network_type="mesh")
+        completion = network.transfer(channel=0, num_bytes=4096, now=0.0)
+        assert completion > 0.0
+
+    def test_mesh_has_hop_latency(self):
+        config = ZNANDConfig()
+        mesh = FlashNetwork(config, network_type="mesh")
+        # A zero-byte transfer still pays the mesh hop latency.
+        completion = mesh.transfer(0, 0, 0.0)
+        assert completion > 0.0
+
+    def test_channel_contention(self):
+        network = FlashNetwork(ZNANDConfig(), network_type="bus")
+        first = network.transfer(0, 4096, 0.0)
+        second = network.transfer(0, 4096, 0.0)
+        assert second > first
+
+    def test_independent_channels_parallel(self):
+        network = FlashNetwork(ZNANDConfig(), network_type="mesh")
+        a = network.transfer(0, 4096, 0.0)
+        b = network.transfer(1, 4096, 0.0)
+        assert a == pytest.approx(b)
+
+    def test_total_bandwidth_scales_with_channels(self):
+        network = FlashNetwork(ZNANDConfig(), network_type="mesh")
+        assert network.total_bandwidth_bytes_per_s == pytest.approx(
+            network.per_channel_bandwidth_bytes_per_s * 16
+        )
+
+    def test_invalid_type(self):
+        with pytest.raises(ValueError):
+            FlashNetwork(ZNANDConfig(), network_type="ring")
+
+    def test_reset(self):
+        network = FlashNetwork(ZNANDConfig(), network_type="mesh")
+        network.transfer(0, 128, 0.0)
+        network.reset()
+        assert network.bytes_transferred() == 0

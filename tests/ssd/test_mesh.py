@@ -1,0 +1,117 @@
+"""Unit and property tests for the 2-D mesh flash-network routing model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import ZNANDConfig
+from repro.ssd.mesh import MeshCoord, MeshFlashNetwork
+
+
+def make_mesh(channels=16):
+    return MeshFlashNetwork(ZNANDConfig(channels=channels))
+
+
+class TestTopology:
+    def test_dimension(self):
+        assert make_mesh(16).dim == 4
+        assert make_mesh(9).dim == 3
+
+    def test_coord_round_trip(self):
+        mesh = make_mesh(16)
+        for router in range(16):
+            coord = mesh.coord(router)
+            assert mesh.router_of(coord) == router
+
+    def test_corner_has_two_neighbours(self):
+        mesh = make_mesh(16)
+        assert len(mesh._neighbours(0)) == 2
+
+    def test_interior_has_four_neighbours(self):
+        mesh = make_mesh(16)
+        assert len(mesh._neighbours(5)) == 4
+
+    def test_link_count(self):
+        mesh = make_mesh(16)
+        # 4x4 mesh: 24 undirected edges -> 48 directed links.
+        assert mesh.num_links == 48
+
+
+class TestRouting:
+    def test_same_router_single_node(self):
+        mesh = make_mesh(16)
+        assert mesh.route(5, 5) == [5]
+
+    def test_xy_route_length(self):
+        mesh = make_mesh(16)
+        path = mesh.route(0, 15)  # (0,0) -> (3,3): 6 hops
+        assert len(path) == 7
+        assert path[0] == 0 and path[-1] == 15
+
+    def test_hop_count_manhattan(self):
+        mesh = make_mesh(16)
+        assert mesh.hop_count(0, 15) == 6
+        assert mesh.hop_count(0, 1) == 1
+        assert mesh.hop_count(5, 5) == 0
+
+    def test_adjacent_path_uses_real_links(self):
+        mesh = make_mesh(16)
+        path = mesh.route(0, 1)
+        for a, b in zip(path, path[1:]):
+            assert (a, b) in mesh._links
+
+    def test_average_hop_count_reasonable(self):
+        mesh = make_mesh(16)
+        avg = mesh.average_hop_count()
+        # Average Manhattan distance on a 4x4 mesh is ~2.67.
+        assert 2.0 < avg < 3.0
+
+
+class TestTransfer:
+    def test_transfer_returns_completion(self):
+        mesh = make_mesh(16)
+        completion = mesh.transfer(0, 15, 4096, now=0.0)
+        assert completion > 0.0
+        assert mesh.packets == 1
+        assert mesh.total_hops == 6
+
+    def test_same_router_transfer_cheap(self):
+        mesh = make_mesh(16)
+        local = mesh.transfer(5, 5, 4096, now=0.0)
+        remote = mesh.transfer(0, 15, 4096, now=0.0)
+        assert local < remote
+
+    def test_link_contention(self):
+        mesh = make_mesh(16)
+        first = mesh.transfer(0, 3, 8192, now=0.0)   # uses links 0-1-2-3
+        second = mesh.transfer(0, 3, 8192, now=0.0)  # contends on the same links
+        assert second > first
+
+    def test_reset(self):
+        mesh = make_mesh(16)
+        mesh.transfer(0, 15, 4096, now=0.0)
+        mesh.reset()
+        assert mesh.packets == 0
+        assert mesh.total_hops == 0
+
+
+class TestProperties:
+    @given(
+        src=st.integers(min_value=0, max_value=15),
+        dst=st.integers(min_value=0, max_value=15),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_route_endpoints(self, src, dst):
+        mesh = make_mesh(16)
+        path = mesh.route(src, dst)
+        assert path[0] == src
+        assert path[-1] == dst
+
+    @given(
+        src=st.integers(min_value=0, max_value=15),
+        dst=st.integers(min_value=0, max_value=15),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_path_length_matches_hops(self, src, dst):
+        mesh = make_mesh(16)
+        path = mesh.route(src, dst)
+        assert len(path) - 1 == mesh.hop_count(src, dst)

@@ -1,0 +1,42 @@
+"""Unit tests for the Optane DC PMM model."""
+
+import pytest
+
+from repro.config import OptaneConfig
+from repro.ssd.optane import OptaneMemory
+
+
+class TestOptaneMemory:
+    def test_read_access(self):
+        optane = OptaneMemory(OptaneConfig())
+        completion = optane.access(0x1000, 256, is_write=False, now=0.0)
+        assert completion > 0.0
+        assert optane.reads == 1
+
+    def test_small_write_rounds_to_granule(self):
+        optane = OptaneMemory(OptaneConfig())
+        # A 128 B write is padded to the 256 B internal granularity.
+        optane.access(0x0, 128, is_write=True, now=0.0)
+        assert optane.bytes_accessed == 256
+
+    def test_write_slower_than_read(self):
+        optane = OptaneMemory(OptaneConfig())
+        read = optane.access(0x0, 256, is_write=False, now=0.0)
+        write = optane.access(1 << 20, 256, is_write=True, now=0.0)
+        assert write > read
+
+    def test_bandwidth_capped(self):
+        optane = OptaneMemory(OptaneConfig())
+        completion = 0.0
+        for i in range(200):
+            completion = max(completion, optane.access(i * 256, 256, is_write=False, now=0.0))
+        bw = optane.achieved_bandwidth_bytes_per_s(completion)
+        # Achieved bandwidth should not exceed the configured read ceiling.
+        assert bw <= OptaneConfig().read_bandwidth_gbps_total * 1e9 * 1.05
+
+    def test_reset(self):
+        optane = OptaneMemory(OptaneConfig())
+        optane.access(0x0, 256, is_write=False, now=0.0)
+        optane.reset_statistics()
+        assert optane.reads == 0
+        assert optane.bytes_accessed == 0

@@ -1,0 +1,42 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_help(self, capsys):
+        assert main(["help"]) == 0
+        assert "Usage" in capsys.readouterr().out
+
+    def test_no_args_shows_help(self, capsys):
+        assert main([]) == 0
+
+    def test_unknown_command(self, capsys):
+        assert main(["frobnicate"]) == 2
+        assert "unknown command" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "GPU" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "betw" in out and "pr" in out
+
+    def test_validate(self, capsys):
+        assert main(["validate"]) == 0
+        assert "bandwidth" in capsys.readouterr().out
+
+    def test_run_requires_args(self, capsys):
+        assert main(["run", "ZnG"]) == 2
+
+    def test_run(self, capsys):
+        assert main(["run", "HybridGPU", "betw", "back"]) == 0
+        assert "IPC" in capsys.readouterr().out
+
+    def test_fig10(self, capsys):
+        assert main(["fig10", "0.05"]) == 0
+        assert "Figure 10" in capsys.readouterr().out

@@ -1,0 +1,46 @@
+"""Tests for workload trace serialisation."""
+
+import pytest
+
+from repro.workloads import io
+from repro.workloads.generators import generate_workload
+from repro.workloads.microbench import streaming
+from repro.workloads.suites import workload_by_name
+
+
+class TestRoundTrip:
+    def test_generated_trace_round_trip(self):
+        trace = generate_workload(workload_by_name("betw"), scale=0.05, seed=1)
+        restored = io.loads(io.dumps(trace))
+        assert restored.spec.name == trace.spec.name
+        assert restored.total_memory_instructions == trace.total_memory_instructions
+        assert restored.page_read_counts == trace.page_read_counts
+        assert restored.page_write_counts == trace.page_write_counts
+
+    def test_micro_trace_round_trip(self):
+        trace = streaming(num_warps=4, accesses_per_warp=8)
+        restored = io.loads(io.dumps(trace))
+        assert len(restored.warps) == len(trace.warps)
+        for a, b in zip(trace.warps, restored.warps):
+            assert len(a.instructions) == len(b.instructions)
+
+    def test_access_types_preserved(self):
+        trace = generate_workload(workload_by_name("back"), scale=0.05, seed=1)
+        restored = io.loads(io.dumps(trace))
+        original_writes = sum(w.write_instructions for w in trace.warps)
+        restored_writes = sum(w.write_instructions for w in restored.warps)
+        assert original_writes == restored_writes
+
+    def test_file_save_load(self, tmp_path):
+        trace = streaming(num_warps=2, accesses_per_warp=4)
+        path = str(tmp_path / "trace.json")
+        io.save_trace(trace, path)
+        restored = io.load_trace(path)
+        assert restored.footprint_pages == trace.footprint_pages
+
+
+class TestSpecSerialization:
+    def test_spec_round_trip(self):
+        spec = workload_by_name("pr")
+        restored = io.spec_from_dict(io.spec_to_dict(spec))
+        assert restored == spec

@@ -1,0 +1,82 @@
+"""Tests for the micro-workload generators."""
+
+import pytest
+
+from repro.workloads import microbench
+
+
+class TestStreaming:
+    def test_all_reads(self):
+        trace = microbench.streaming(num_warps=4, accesses_per_warp=8)
+        assert sum(trace.page_write_counts.values()) == 0
+        assert trace.total_memory_instructions == 4 * 8
+
+    def test_fully_coalesced(self):
+        trace = microbench.streaming(num_warps=2, accesses_per_warp=4)
+        for warp in trace.warps:
+            for instr in warp.instructions:
+                assert len(instr.addresses) == 32
+
+    def test_each_line_read_once(self):
+        # Streaming touches each 128 B line exactly once; per-page reuse just
+        # reflects how many distinct lines of a 4 KB page the warp streamed.
+        trace = microbench.streaming(num_warps=8, accesses_per_warp=8)
+        total_reads = sum(trace.page_read_counts.values())
+        assert total_reads == 8 * 8
+        # No page is read more than the 32 lines it contains.
+        assert max(trace.page_read_counts.values()) <= 32
+
+
+class TestPointerChase:
+    def test_single_thread_accesses(self):
+        trace = microbench.pointer_chase(num_warps=4, chain_length=8, seed=1)
+        for warp in trace.warps:
+            for instr in warp.instructions:
+                assert len(instr.addresses) == 1
+
+    def test_deterministic(self):
+        a = microbench.pointer_chase(num_warps=4, chain_length=8, seed=7)
+        b = microbench.pointer_chase(num_warps=4, chain_length=8, seed=7)
+        assert a.page_read_counts == b.page_read_counts
+
+
+class TestStencil:
+    def test_high_reuse(self):
+        trace = microbench.stencil(num_warps=4, iterations=16)
+        # Each page is read many times (3 lines x iterations).
+        assert trace.mean_read_reaccess > 5.0
+
+    def test_all_reads(self):
+        trace = microbench.stencil(num_warps=4, iterations=4)
+        assert sum(trace.page_write_counts.values()) == 0
+
+
+class TestHammer:
+    def test_all_writes(self):
+        trace = microbench.hammer(num_warps=4, writes_per_warp=16, hot_pages=4)
+        assert sum(trace.page_read_counts.values()) == 0
+
+    def test_high_write_redundancy(self):
+        trace = microbench.hammer(num_warps=8, writes_per_warp=16, hot_pages=4)
+        assert trace.mean_write_redundancy > 10.0
+
+    def test_small_footprint(self):
+        trace = microbench.hammer(num_warps=8, writes_per_warp=16, hot_pages=4)
+        assert trace.footprint_pages == 4
+
+
+class TestOnPlatforms:
+    def test_streaming_runs_on_zng(self):
+        from repro.platforms import build_platform
+
+        trace = microbench.streaming(num_warps=16, accesses_per_warp=16)
+        result = build_platform("ZnG").run(trace)
+        assert result.ipc > 0
+
+    def test_hammer_exercises_register_cache(self):
+        from repro.platforms.zng import ZnGPlatform, ZnGVariant
+
+        trace = microbench.hammer(num_warps=16, writes_per_warp=32, hot_pages=4)
+        platform = ZnGPlatform(ZnGVariant.WROPT)
+        platform.run(trace)
+        assert platform.register_cache.write_hits > 0
