@@ -9,6 +9,8 @@ can be compared against EXPERIMENTS.md.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 # Bench scale knobs: large enough to exercise plane parallelism and reuse,
@@ -25,6 +27,14 @@ BENCH_MIXES = [
     ("gc1", "FDT"),
     ("pr", "gaus"),
 ]
+
+
+def pytest_collection_modifyitems(items):
+    """Mark the benches so `-m 'not bench'` can exclude them in mixed runs."""
+    bench_dir = Path(__file__).parent
+    for item in items:
+        if bench_dir in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.bench)
 
 
 def pytest_addoption(parser):

@@ -2,17 +2,47 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, Sequence, Tuple
 
 from repro.analysis.report import format_figure_table
-from repro.platforms import build_platform
 from repro.platforms.base import PlatformResult
+from repro.runner import cell_seed, run_grid
 from repro.workloads.multiapp import MultiAppWorkload, build_mix
+
+# Benches run sweeps serially and uncached by default so pytest-benchmark
+# times real simulation work, not cache reads; pass workers/cache to scale.
+BENCH_SEED = 1
 
 
 def run_once(benchmark, fn: Callable, *args, **kwargs):
     """Time a heavy reproduction exactly once (no warmup rounds)."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def run_sweep_grid(
+    platform_names: Sequence[str],
+    mixes: Sequence[Tuple[str, str]],
+    scale: float,
+    warps_per_sm: int = 12,
+    memory_instructions_per_warp: int = 96,
+    workers: int = 1,
+    cache: object = False,
+) -> Dict[str, Dict[str, PlatformResult]]:
+    """Run a platform x mix grid through ``repro.runner``.
+
+    Returns ``{mix_name: {platform: PlatformResult}}`` — the shape the figure
+    benches tabulate.
+    """
+    return run_grid(
+        platform_names,
+        [f"{read_app}-{write_app}" for read_app, write_app in mixes],
+        scale=scale,
+        seed=BENCH_SEED,
+        warps_per_sm=warps_per_sm,
+        memory_instructions_per_warp=memory_instructions_per_warp,
+        workers=workers,
+        cache=cache,
+    )
 
 
 def build_bench_mix(
@@ -21,22 +51,22 @@ def build_bench_mix(
     scale: float,
     warps_per_sm: int = 12,
     memory_instructions_per_warp: int = 96,
-    seed: int = 1,
+    seed: int = BENCH_SEED,
 ) -> MultiAppWorkload:
+    """Build one co-run mix with the same derived seed the sweep runner uses.
+
+    Seeding through :func:`repro.runner.cell_seed` keeps a hand-built bench
+    mix bit-identical to the trace a ``run_sweep_grid`` cell runs, so numbers
+    are comparable across the migrated and unmigrated benches.
+    """
     return build_mix(
         read_app,
         write_app,
         scale=scale,
-        seed=seed,
+        seed=cell_seed(seed, f"{read_app}-{write_app}"),
         warps_per_sm=warps_per_sm,
         memory_instructions_per_warp=memory_instructions_per_warp,
     )
-
-
-def run_platforms_on_mix(
-    platform_names: Sequence[str], mix: MultiAppWorkload
-) -> Dict[str, PlatformResult]:
-    return {name: build_platform(name).run(mix.combined) for name in platform_names}
 
 
 def print_table(title: str, rows, value_format: str = "{:.3f}") -> None:

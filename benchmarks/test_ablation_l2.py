@@ -5,15 +5,13 @@ with a 24 MB read-only STT-MRAM L2.  This bench isolates that choice by
 comparing ZnG-base (SRAM) against ZnG-rdopt (STT-MRAM + prefetch).
 """
 
-from repro.platforms.zng import ZnGPlatform, ZnGVariant
-from benchmarks.harness import build_bench_mix, run_once
+from benchmarks.harness import run_once, run_sweep_grid
 
 
 def _compare(scale):
-    mix = build_bench_mix("betw", "back", scale, warps_per_sm=12)
-    base = ZnGPlatform(ZnGVariant.BASE).run(mix.combined)
-    rdopt = ZnGPlatform(ZnGVariant.RDOPT).run(mix.combined)
-    return base, rdopt
+    grid = run_sweep_grid(["ZnG-base", "ZnG-rdopt"], [("betw", "back")], scale)
+    results = grid["betw-back"]
+    return results["ZnG-base"], results["ZnG-rdopt"]
 
 
 def test_ablation_l2(benchmark, bench_scale):

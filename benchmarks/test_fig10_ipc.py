@@ -7,21 +7,17 @@ contributor.  Runs under the paper's regime of ample thread-level parallelism.
 
 import math
 
-from repro.platforms import build_platform
 from repro.platforms.zng import PLATFORM_NAMES
-from benchmarks.harness import build_bench_mix, run_once, run_platforms_on_mix
+from benchmarks.harness import run_once, run_sweep_grid
 
 
 def _sweep(scale, mixes, warps_per_sm):
     platforms = ["GDDR5"] + PLATFORM_NAMES
+    grid = run_sweep_grid(platforms, mixes, scale, warps_per_sm=warps_per_sm)
     rows = {}
-    for read_app, write_app in mixes:
-        mix = build_bench_mix(read_app, write_app, scale, warps_per_sm=warps_per_sm)
-        results = run_platforms_on_mix(platforms, mix)
+    for mix_token, results in grid.items():
         reference = results["ZnG"].ipc or 1.0
-        rows[f"{read_app}-{write_app}"] = {
-            name: results[name].ipc / reference for name in platforms
-        }
+        rows[mix_token] = {name: results[name].ipc / reference for name in platforms}
     return rows
 
 

@@ -5,16 +5,17 @@ planes busy, letting the accumulated flash bandwidth be realised — the central
 argument of the paper.  This bench sweeps warps-per-SM and reports the trend.
 """
 
-from repro.platforms import build_platform
-from benchmarks.harness import build_bench_mix, run_once
+from benchmarks.harness import run_once, run_sweep_grid
 
 
 def _sweep(scale):
     trend = {}
     for warps in (2, 4, 8, 16):
-        mix = build_bench_mix("betw", "back", scale, warps_per_sm=warps)
-        zng = build_platform("ZnG").run(mix.combined)
-        hybrid = build_platform("HybridGPU").run(mix.combined)
+        grid = run_sweep_grid(
+            ["ZnG", "HybridGPU"], [("betw", "back")], scale, warps_per_sm=warps
+        )
+        results = grid["betw-back"]
+        zng, hybrid = results["ZnG"], results["HybridGPU"]
         trend[warps] = zng.ipc / hybrid.ipc if hybrid.ipc else 0.0
     return trend
 

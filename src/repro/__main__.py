@@ -9,6 +9,21 @@ Usage::
     python -m repro table2              # workloads (Table II)
     python -m repro validate            # analytic-vs-measured validations
     python -m repro run <platform> <read_app> <write_app>   # one platform x mix
+    python -m repro sweep [options]     # parallel, cached experiment sweep
+
+Sweep options::
+
+    --platforms A,B,...   platform names            (default: the 4 ZnG variants)
+    --workloads W,...     workload tokens: app, read-write mix, or a group
+                          token (mixes/graph/scientific)
+                          (default: betw-back,bfs1-gaus,pr-gaus)
+    --set path=value,...  labelled config overrides may repeat: --set label:a.b=1,c.d=2
+    --workers N           worker processes          (default: 4)
+    --scale S             trace scale               (default: 0.2)
+    --seed N              sweep seed                (default: 1)
+    --warps N             warps per SM              (default: 8)
+    --cache-dir DIR       result cache location     (default: .repro-cache)
+    --no-cache            disable the result cache
 """
 
 from __future__ import annotations
@@ -86,8 +101,126 @@ def _cmd_run(args: List[str]) -> int:
     return 0
 
 
+def _parse_value(text: str):
+    """Parse an override value: int, float, bool or bare string."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for kind in (int, float):
+        try:
+            return kind(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_override_flag(argument: str):
+    """``label:a.b=1,c.d=2`` or ``a.b=1`` -> (label, {path: value})."""
+    label, _, body = argument.partition(":")
+    if not body:
+        label, body = "", label
+    overrides = {}
+    for pair in body.split(","):
+        path, _, raw = pair.partition("=")
+        if not raw:
+            raise ValueError(f"malformed override {pair!r} (expected path=value)")
+        overrides[path.strip()] = _parse_value(raw.strip())
+    return label or "+".join(f"{p}={v}" for p, v in overrides.items()), overrides
+
+
+def _cmd_sweep(args: List[str]) -> int:
+    from repro.runner import SweepRunner, SweepSpec
+
+    platforms = ["ZnG-base", "ZnG-rdopt", "ZnG-wropt", "ZnG"]
+    workloads = ["betw-back", "bfs1-gaus", "pr-gaus"]
+    override_axis = {}
+    workers, scale, seed, warps = 4, 0.2, 1, 8
+    cache: object = True  # memoize in the default cache location
+    index = 0
+    while index < len(args):
+        flag = args[index]
+        if flag == "--no-cache":
+            cache = False
+            index += 1
+            continue
+        if flag.startswith("--") and index + 1 >= len(args):
+            print(f"missing value for {flag}")
+            return 2
+        if flag == "--platforms":
+            platforms = [p for p in args[index + 1].split(",") if p]
+        elif flag == "--workloads":
+            workloads = [w for w in args[index + 1].split(",") if w]
+        elif flag == "--set":
+            try:
+                label, overrides = _parse_override_flag(args[index + 1])
+            except ValueError as error:
+                print(error)
+                return 2
+            override_axis[label] = overrides
+        elif flag in ("--workers", "--scale", "--seed", "--warps"):
+            kind = float if flag == "--scale" else int
+            try:
+                value = kind(args[index + 1])
+            except ValueError:
+                print(f"{flag} expects a number, got {args[index + 1]!r}")
+                return 2
+            if flag == "--workers":
+                workers = value
+            elif flag == "--scale":
+                scale = value
+            elif flag == "--seed":
+                seed = value
+            else:
+                warps = value
+        elif flag == "--cache-dir":
+            cache = args[index + 1]
+        else:
+            print(f"unknown sweep option {flag!r}")
+            return 2
+        index += 2
+
+    try:
+        spec = SweepSpec.create(
+            platforms=platforms,
+            workloads=workloads,
+            overrides=override_axis or None,
+            scale=scale,
+            seed=seed,
+            warps_per_sm=warps,
+        )
+        runner = SweepRunner(workers=workers, cache=cache)
+        result = runner.run(spec)
+    except (ValueError, KeyError) as error:
+        # Unknown platform/workload or a bad override path: report cleanly.
+        message = error.args[0] if error.args else error
+        print(message)
+        return 2
+
+    show_label = len(spec.overrides) > 1 or spec.overrides[0].label != "default"
+    header = f"{'workload':12s} {'platform':12s}"
+    if show_label:
+        header += f" {'override':>20s}"
+    print(header + f" {'IPC':>10s} {'cycles':>14s} {'cached':>7s}")
+    for run in result:
+        line = f"{run.cell.workload:12s} {run.cell.platform:12s}"
+        if show_label:
+            line += f" {run.cell.override_set.label:>20s}"
+        line += (
+            f" {run.result.ipc:>10.4f} {run.result.cycles:>14.0f}"
+            f" {'yes' if run.from_cache else 'no':>7s}"
+        )
+        print(line)
+    print(
+        f"{len(result)} cells in {result.elapsed_seconds:.2f}s with {workers} workers; "
+        f"{result.cache_hits} served from cache"
+        + (f" ({runner.cache.root})" if runner.cache is not None else "")
+    )
+    return 0
+
+
 COMMANDS = {
     "report": _cmd_report,
+    "sweep": _cmd_sweep,
     "fig10": _cmd_fig10,
     "fig11": _cmd_fig11,
     "table1": _cmd_table1,

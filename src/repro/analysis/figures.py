@@ -45,8 +45,9 @@ def run_platform_on_mix(
     config: Optional[PlatformConfig] = None,
 ) -> PlatformResult:
     """Run one platform on one multi-app mix (a fresh platform per run)."""
-    platform = build_platform(platform_name, config)
-    return platform.run(mix.combined)
+    from repro.platforms.base import GPUSSDPlatform
+
+    return GPUSSDPlatform.execute(platform_name, mix.combined, config)
 
 
 def run_platforms(
@@ -55,6 +56,29 @@ def run_platforms(
     config: Optional[PlatformConfig] = None,
 ) -> Dict[str, PlatformResult]:
     return {name: run_platform_on_mix(name, mix, config) for name in platform_names}
+
+
+def _sweep_mixes(
+    platform_names: Sequence[str],
+    mixes: Optional[Sequence[Tuple[str, str]]],
+    scale: float,
+    config: Optional[PlatformConfig],
+    workers: int = 1,
+    cache: object = False,
+) -> Dict[str, Dict[str, PlatformResult]]:
+    """Run a platform x mix grid through the sweep runner.
+
+    Returns ``{mix_name: {platform: PlatformResult}}``.  With ``workers > 1``
+    cells fan out across a process pool; ``cache`` accepts anything
+    :class:`repro.runner.SweepRunner` does (``False`` disables memoization).
+    """
+    from repro.runner import run_grid
+
+    tokens = [mix_name(r, w) for r, w in (mixes or DEFAULT_MIXES)]
+    return run_grid(
+        platform_names, tokens, scale=scale, base_config=config,
+        workers=workers, cache=cache,
+    )
 
 
 def _mixes_for(
@@ -179,9 +203,8 @@ def figure_5a(
     wastes 97 % of the 4 KB flash page it senses.
     """
     degradation: Dict[str, float] = {}
-    for name, mix in _mixes_for(mixes, scale).items():
-        gddr5 = run_platform_on_mix("GDDR5", mix, config)
-        raw = run_platform_on_mix("ZnG-base", mix, config)
+    for name, results in _sweep_mixes(["GDDR5", "ZnG-base"], mixes, scale, config).items():
+        gddr5, raw = results["GDDR5"], results["ZnG-base"]
         degradation[name] = gddr5.ipc / raw.ipc if raw.ipc else float("inf")
     return degradation
 
@@ -253,15 +276,19 @@ def figure_10(
     platforms: Optional[Sequence[str]] = None,
     config: Optional[PlatformConfig] = None,
     normalize_to: str = "ZnG",
+    workers: int = 1,
+    cache: object = False,
 ) -> Dict[str, Dict[str, float]]:
     """Per-mix IPC of every platform, normalised to ``normalize_to`` (ZnG).
 
-    Returns ``{mix_name: {platform: normalised_ipc}}``.
+    Returns ``{mix_name: {platform: normalised_ipc}}``.  The grid runs through
+    the sweep runner: pass ``workers``/``cache`` to parallelise and memoize.
     """
     platform_names = list(platforms or PLATFORM_NAMES)
     output: Dict[str, Dict[str, float]] = {}
-    for name, mix in _mixes_for(mixes, scale).items():
-        results = run_platforms(platform_names, mix, config)
+    for name, results in _sweep_mixes(
+        platform_names, mixes, scale, config, workers=workers, cache=cache
+    ).items():
         reference = results[normalize_to].ipc if normalize_to in results else None
         if not reference:
             reference = max(result.ipc for result in results.values()) or 1.0
@@ -274,13 +301,12 @@ def figure_10_raw(
     mixes: Optional[Sequence[Tuple[str, str]]] = None,
     platforms: Optional[Sequence[str]] = None,
     config: Optional[PlatformConfig] = None,
+    workers: int = 1,
+    cache: object = False,
 ) -> Dict[str, Dict[str, PlatformResult]]:
     """Same sweep as :func:`figure_10` but returning the full result records."""
     platform_names = list(platforms or PLATFORM_NAMES)
-    output: Dict[str, Dict[str, PlatformResult]] = {}
-    for name, mix in _mixes_for(mixes, scale).items():
-        output[name] = run_platforms(platform_names, mix, config)
-    return output
+    return _sweep_mixes(platform_names, mixes, scale, config, workers=workers, cache=cache)
 
 
 # ---------------------------------------------------------------------------
@@ -293,16 +319,19 @@ def figure_11(
     mixes: Optional[Sequence[Tuple[str, str]]] = None,
     platforms: Optional[Sequence[str]] = None,
     config: Optional[PlatformConfig] = None,
+    workers: int = 1,
+    cache: object = False,
 ) -> Dict[str, Dict[str, float]]:
     """Per-mix flash-array read bandwidth (GB/s) of the flash-backed platforms."""
     platform_names = list(
         platforms or ["HybridGPU", "ZnG-base", "ZnG-rdopt", "ZnG-wropt", "ZnG"]
     )
-    output: Dict[str, Dict[str, float]] = {}
-    for name, mix in _mixes_for(mixes, scale).items():
-        row: Dict[str, float] = {}
-        for platform_name in platform_names:
-            result = run_platform_on_mix(platform_name, mix, config)
-            row[platform_name] = result.flash_array_read_bandwidth_gbps
-        output[name] = row
-    return output
+    return {
+        name: {
+            platform: result.flash_array_read_bandwidth_gbps
+            for platform, result in results.items()
+        }
+        for name, results in _sweep_mixes(
+            platform_names, mixes, scale, config, workers=workers, cache=cache
+        ).items()
+    }

@@ -4,94 +4,125 @@ Centralises the design-space exploration the paper performs informally: sweep
 one configuration parameter, hold the rest at Table I defaults, and report the
 resulting IPC / bandwidth / hit-rate.  The ablation benches use these helpers,
 and an example plots them.
+
+Each named sweep is one labelled override axis handed to the
+:mod:`repro.runner` subsystem, so it parallelises across a worker pool and
+memoizes finished points in the on-disk result cache like any other sweep.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.config import PlatformConfig, default_config
 from repro.platforms.base import PlatformResult
 from repro.platforms.zng import ZnGPlatform, ZnGVariant
-from repro.workloads.multiapp import MultiAppWorkload, build_mix
+from repro.runner import SweepRunner, SweepSpec
+from repro.workloads.multiapp import build_mix
+
+#: The mix and trace knobs every knob sweep runs with (kept identical across
+#: axes so points are comparable and cache entries are shared).
+SWEEP_WORKLOAD = "betw-back"
+SWEEP_SEED = 1
+SWEEP_WARPS_PER_SM = 12
+SWEEP_MEM_INSTS = 96
 
 
-def _default_mix(scale: float) -> MultiAppWorkload:
-    return build_mix("betw", "back", scale=scale, seed=1, warps_per_sm=12,
-                     memory_instructions_per_warp=96)
+def sweep_axis(
+    values: Sequence[object],
+    path: str,
+    scale: float = 0.25,
+    platform: str = "ZnG",
+    workload: str = SWEEP_WORKLOAD,
+    workers: int = 1,
+    cache: object = False,
+) -> Dict[object, PlatformResult]:
+    """Sweep one dotted config ``path`` over ``values`` on one platform.
 
-
-def _run(config: PlatformConfig, mix: MultiAppWorkload, variant: ZnGVariant) -> PlatformResult:
-    return ZnGPlatform(variant, config).run(mix.combined)
+    Returns ``{value: PlatformResult}`` in input order.  This is the
+    runner-backed primitive behind every named sweep below.
+    """
+    labels = {str(value): value for value in values}
+    spec = SweepSpec.create(
+        platforms=[platform],
+        workloads=[workload],
+        overrides={label: {path: value} for label, value in labels.items()},
+        scale=scale,
+        seed=SWEEP_SEED,
+        warps_per_sm=SWEEP_WARPS_PER_SM,
+        memory_instructions_per_warp=SWEEP_MEM_INSTS,
+    )
+    sweep = SweepRunner(workers=workers, cache=cache).run(spec)
+    out: Dict[object, PlatformResult] = {}
+    for run in sweep:
+        out[labels[run.cell.override_set.label]] = run.result
+    return {value: out[value] for value in values}
 
 
 def sweep_registers_per_plane(
     values: Optional[List[int]] = None,
     scale: float = 0.25,
+    workers: int = 1,
+    cache: object = False,
 ) -> Dict[int, PlatformResult]:
     """Sweep the number of flash registers per plane (write-cache size)."""
-    values = values or [2, 4, 8, 16, 32]
-    mix = _default_mix(scale)
-    results: Dict[int, PlatformResult] = {}
-    for registers in values:
-        base = default_config()
-        config = base.copy(
-            register_cache=replace(base.register_cache, registers_per_plane=registers)
-        )
-        results[registers] = _run(config, mix, ZnGVariant.FULL)
-    return results
+    return sweep_axis(
+        values or [2, 4, 8, 16, 32],
+        "register_cache.registers_per_plane",
+        scale=scale,
+        workers=workers,
+        cache=cache,
+    )
 
 
 def sweep_l2_size(
     sizes_mb: Optional[List[int]] = None,
     scale: float = 0.25,
+    workers: int = 1,
+    cache: object = False,
 ) -> Dict[int, PlatformResult]:
     """Sweep the STT-MRAM L2 capacity."""
     sizes_mb = sizes_mb or [6, 12, 24, 48]
-    mix = _default_mix(scale)
-    results: Dict[int, PlatformResult] = {}
-    for size_mb in sizes_mb:
-        base = default_config()
-        config = base.copy(
-            stt_mram=replace(base.stt_mram, size_bytes=size_mb * 1024 * 1024)
-        )
-        results[size_mb] = _run(config, mix, ZnGVariant.FULL)
-    return results
+    by_bytes = sweep_axis(
+        [size_mb * 1024 * 1024 for size_mb in sizes_mb],
+        "stt_mram.size_bytes",
+        scale=scale,
+        workers=workers,
+        cache=cache,
+    )
+    return {size_mb: by_bytes[size_mb * 1024 * 1024] for size_mb in sizes_mb}
 
 
 def sweep_prefetch_threshold(
     thresholds: Optional[List[int]] = None,
     scale: float = 0.25,
+    workers: int = 1,
+    cache: object = False,
 ) -> Dict[int, PlatformResult]:
     """Sweep the predictor cutoff threshold for issuing a prefetch."""
-    thresholds = thresholds or [1, 4, 8, 12, 15]
-    mix = _default_mix(scale)
-    results: Dict[int, PlatformResult] = {}
-    for threshold in thresholds:
-        base = default_config()
-        config = base.copy(
-            prefetch=replace(base.prefetch, prefetch_threshold=threshold)
-        )
-        results[threshold] = _run(config, mix, ZnGVariant.FULL)
-    return results
+    return sweep_axis(
+        thresholds or [1, 4, 8, 12, 15],
+        "prefetch.prefetch_threshold",
+        scale=scale,
+        workers=workers,
+        cache=cache,
+    )
 
 
 def sweep_interconnect(
     kinds: Optional[List[str]] = None,
     scale: float = 0.25,
+    workers: int = 1,
+    cache: object = False,
 ) -> Dict[str, PlatformResult]:
     """Compare the register interconnects (swnet / fcnet / nif)."""
-    kinds = kinds or ["swnet", "fcnet", "nif"]
-    mix = _default_mix(scale)
-    results: Dict[str, PlatformResult] = {}
-    for kind in kinds:
-        base = default_config()
-        config = base.copy(
-            register_cache=replace(base.register_cache, interconnect=kind)
-        )
-        results[kind] = _run(config, mix, ZnGVariant.FULL)
-    return results
+    return sweep_axis(
+        kinds or ["swnet", "fcnet", "nif"],
+        "register_cache.interconnect",
+        scale=scale,
+        workers=workers,
+        cache=cache,
+    )
 
 
 def generic_sweep(
@@ -103,10 +134,21 @@ def generic_sweep(
     """Run an arbitrary single-parameter sweep.
 
     ``apply(base_config, value)`` returns a config with the parameter set.
+    Because the transformation is an opaque callable it cannot be content-
+    hashed or shipped to workers; this path stays serial and uncached.
+    Prefer :func:`sweep_axis` with a dotted override path where possible.
     """
-    mix = _default_mix(scale)
+    from repro.runner import cell_seed
+
+    read_app, write_app = SWEEP_WORKLOAD.split("-")
+    # Same derived seed the runner-backed sweeps use, so a generic_sweep
+    # point is directly comparable with a sweep_axis point.
+    mix = build_mix(read_app, write_app, scale=scale,
+                    seed=cell_seed(SWEEP_SEED, SWEEP_WORKLOAD),
+                    warps_per_sm=SWEEP_WARPS_PER_SM,
+                    memory_instructions_per_warp=SWEEP_MEM_INSTS)
     results: Dict[object, PlatformResult] = {}
     for value in values:
         config = apply(default_config(), value)
-        results[value] = _run(config, mix, variant)
+        results[value] = ZnGPlatform(variant, config).run(mix.combined)
     return results

@@ -10,14 +10,14 @@ SSD, Optane, or ZnG's flash controllers.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Mapping, Optional, Sequence
 
 from repro.config import GPU_FREQ_HZ, PlatformConfig, default_config
 from repro.gpu.interconnect import Interconnect
 from repro.gpu.l2cache import SharedL2Cache
 from repro.gpu.mmu import MMU
-from repro.gpu.sm import GPUCore, GPUExecutionResult
+from repro.gpu.sm import GPUCore, GPUExecutionResult, SMStatistics
 from repro.gpu.warp import WarpTrace
 from repro.sim.request import MemoryRequest, RequestResult
 from repro.sim.stats import StatsCollector
@@ -58,11 +58,152 @@ class PlatformResult:
             return {}
         return {k: v / total for k, v in self.latency_breakdown.items()}
 
+    # -- serialisation and aggregation ---------------------------------------
+    #
+    # Sweep workers ship results across process boundaries and the on-disk
+    # result cache stores them as JSON; both need a lossless plain-data form.
+
+    def to_record(self) -> Dict[str, object]:
+        """A JSON-serialisable record that :meth:`from_record` restores."""
+        return {
+            "platform": self.platform,
+            "workload": self.workload,
+            "execution": {
+                "cycles": self.execution.cycles,
+                "instructions": self.execution.instructions,
+                "memory_requests": self.execution.memory_requests,
+                "ipc": self.execution.ipc,
+                "per_sm": {str(k): asdict(v) for k, v in self.execution.per_sm.items()},
+            },
+            "stats": self.stats.to_dict(),
+            "latency_breakdown": dict(self.latency_breakdown),
+            "flash_array_read_bandwidth_gbps": self.flash_array_read_bandwidth_gbps,
+            "flash_array_total_bandwidth_gbps": self.flash_array_total_bandwidth_gbps,
+            "memory_bandwidth_gbps": self.memory_bandwidth_gbps,
+            "l2_hit_rate": self.l2_hit_rate,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, object]) -> "PlatformResult":
+        """Rebuild a result from a :meth:`to_record` payload."""
+        execution = dict(record["execution"])
+        per_sm = {
+            int(sm_id): SMStatistics(**fields)
+            for sm_id, fields in dict(execution.get("per_sm", {})).items()
+        }
+        return cls(
+            platform=str(record["platform"]),
+            workload=str(record["workload"]),
+            execution=GPUExecutionResult(
+                cycles=float(execution["cycles"]),
+                instructions=int(execution["instructions"]),
+                memory_requests=int(execution["memory_requests"]),
+                ipc=float(execution["ipc"]),
+                per_sm=per_sm,
+            ),
+            stats=StatsCollector.from_dict(dict(record["stats"])),
+            latency_breakdown=dict(record.get("latency_breakdown", {})),
+            flash_array_read_bandwidth_gbps=float(
+                record.get("flash_array_read_bandwidth_gbps", 0.0)
+            ),
+            flash_array_total_bandwidth_gbps=float(
+                record.get("flash_array_total_bandwidth_gbps", 0.0)
+            ),
+            memory_bandwidth_gbps=float(record.get("memory_bandwidth_gbps", 0.0)),
+            l2_hit_rate=float(record.get("l2_hit_rate", 0.0)),
+            extra=dict(record.get("extra", {})),
+        )
+
+    def merged_with(self, other: "PlatformResult") -> "PlatformResult":
+        """Aggregate two shard results (e.g. per-workload halves of a suite).
+
+        Cycles take the max (shards run concurrently on copies of the
+        platform), instruction and request counts add, IPC is recomputed, and
+        statistics/breakdowns merge component-wise.
+        """
+        stats = StatsCollector.from_dict(self.stats.to_dict())
+        stats.merge(other.stats)
+        cycles = max(self.execution.cycles, other.execution.cycles)
+        instructions = self.execution.instructions + other.execution.instructions
+        breakdown = dict(self.latency_breakdown)
+        for component, value in other.latency_breakdown.items():
+            breakdown[component] = breakdown.get(component, 0.0) + value
+        extra = dict(self.extra)
+        for key, value in other.extra.items():
+            extra[key] = extra.get(key, 0.0) + value
+        per_sm: Dict[int, SMStatistics] = {
+            sm_id: SMStatistics(**asdict(sm)) for sm_id, sm in self.execution.per_sm.items()
+        }
+        for sm_id, sm in other.execution.per_sm.items():
+            merged_sm = per_sm.setdefault(sm_id, SMStatistics())
+            merged_sm.instructions += sm.instructions
+            merged_sm.memory_instructions += sm.memory_instructions
+            merged_sm.memory_requests += sm.memory_requests
+            merged_sm.l1_hits += sm.l1_hits
+            merged_sm.l1_misses += sm.l1_misses
+            merged_sm.completion_cycle = max(merged_sm.completion_cycle, sm.completion_cycle)
+        # Weight each shard's L2 hit rate by its L2 traffic, not a plain mean.
+        own_accesses = self.stats.get("l2_hits") + self.stats.get("l2_misses")
+        other_accesses = other.stats.get("l2_hits") + other.stats.get("l2_misses")
+        total_accesses = own_accesses + other_accesses
+        if total_accesses:
+            l2_hit_rate = (
+                self.l2_hit_rate * own_accesses + other.l2_hit_rate * other_accesses
+            ) / total_accesses
+        else:
+            l2_hit_rate = (self.l2_hit_rate + other.l2_hit_rate) / 2.0
+        return PlatformResult(
+            platform=self.platform,
+            workload=f"{self.workload}+{other.workload}",
+            execution=GPUExecutionResult(
+                cycles=cycles,
+                instructions=instructions,
+                memory_requests=self.execution.memory_requests + other.execution.memory_requests,
+                ipc=instructions / cycles if cycles else 0.0,
+                per_sm=per_sm,
+            ),
+            stats=stats,
+            latency_breakdown=breakdown,
+            flash_array_read_bandwidth_gbps=self.flash_array_read_bandwidth_gbps
+            + other.flash_array_read_bandwidth_gbps,
+            flash_array_total_bandwidth_gbps=self.flash_array_total_bandwidth_gbps
+            + other.flash_array_total_bandwidth_gbps,
+            memory_bandwidth_gbps=self.memory_bandwidth_gbps + other.memory_bandwidth_gbps,
+            l2_hit_rate=l2_hit_rate,
+            extra=extra,
+        )
+
 
 class GPUSSDPlatform(ABC):
     """Base class wiring the GPU front end to a platform-specific memory side."""
 
     name = "abstract"
+
+    # ------------------------------------------------------------------
+    # Uniform build -> run -> result entry point
+    # ------------------------------------------------------------------
+    @staticmethod
+    def build(name: str, config: Optional[PlatformConfig] = None) -> "GPUSSDPlatform":
+        """Instantiate any evaluation platform by name (``GDDR5``, ``ZnG``...)."""
+        from repro.platforms.zng import build_platform
+
+        return build_platform(name, config)
+
+    @classmethod
+    def execute(
+        cls,
+        name: str,
+        workload: WorkloadTrace,
+        config: Optional[PlatformConfig] = None,
+    ) -> PlatformResult:
+        """Build a fresh platform, run one workload, return the result record.
+
+        This is the single entry point the sweep runner (and anything else
+        that fans out platform x workload cells) goes through; a fresh
+        platform per call keeps runs independent and deterministic.
+        """
+        return cls.build(name, config).run(workload)
 
     def __init__(self, config: Optional[PlatformConfig] = None) -> None:
         self.config = config or default_config()

@@ -1,0 +1,86 @@
+"""Experiment-sweep orchestration: declarative grids, parallel cells, caching.
+
+The paper's evaluation is a grid of (platform variant x workload x config
+ablation) simulations.  This package runs such grids as fast as the hardware
+allows and never runs the same cell twice.
+
+Sweep spec format
+-----------------
+A sweep is declared with :meth:`SweepSpec.create`::
+
+    from repro.runner import SweepSpec, run_sweep
+
+    spec = SweepSpec.create(
+        platforms=["ZnG-base", "ZnG-rdopt", "ZnG-wropt", "ZnG"],
+        workloads=["betw-back", "bfs1-gaus", "pr-gaus"],   # or "mixes"/"graph"
+        overrides={                                        # optional axis
+            "reg8":  {"register_cache.registers_per_plane": 8},
+            "reg16": {"register_cache.registers_per_plane": 16},
+        },
+        scale=0.2, seed=1, warps_per_sm=8,
+    )
+    result = run_sweep(spec, workers=4, cache=".repro-cache")
+    result.table("ipc")      # {workload: {platform: ipc}}
+
+* ``platforms`` — evaluation names (``GDDR5``, ``Hetero``, ``HybridGPU``,
+  ``Optane``, ``ZnG-base``, ``ZnG-rdopt``, ``ZnG-wropt``, ``ZnG``).
+* ``workloads`` — Table II tokens: a single app (``"betw"``), a co-run mix
+  (``"betw-back"``), or a group (``"mixes"``, ``"graph"``, ``"scientific"``).
+* ``overrides`` — labelled points on a config axis; each entry maps dotted
+  config paths (``"znand.channels"``) to values, applied on top of the
+  Table I defaults (or a custom ``base_config``).
+
+Cells are seeded deterministically from ``(seed, workload)`` alone, so every
+platform sees the identical trace and serial runs, parallel runs and cached
+re-runs are bit-identical.
+
+Cache layout
+------------
+Finished cells are memoized under ``.repro-cache/`` (override with
+``cache=<dir>`` or ``$REPRO_CACHE_DIR``)::
+
+    .repro-cache/<key[:2]>/<key>.json
+
+``key`` is the sha256 of the cell's canonical descriptor — resolved config,
+platform, workload token, seed and trace knobs — so any config or workload
+change misses cleanly instead of aliasing.  Entries are written atomically
+and a corrupted entry is dropped and recomputed, never trusted.
+
+The CLI front end is ``python -m repro sweep``.
+"""
+
+from repro.runner.cache import CACHE_VERSION, ResultCache, default_cache_dir
+from repro.runner.runner import (
+    CellRun,
+    SweepResult,
+    SweepRunner,
+    execute_cell,
+    run_grid,
+    run_sweep,
+)
+from repro.runner.spec import (
+    OverrideSet,
+    SweepCell,
+    SweepSpec,
+    apply_overrides,
+    build_cell_trace,
+    cell_seed,
+)
+
+__all__ = [
+    "CACHE_VERSION",
+    "CellRun",
+    "OverrideSet",
+    "ResultCache",
+    "SweepCell",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "apply_overrides",
+    "build_cell_trace",
+    "cell_seed",
+    "default_cache_dir",
+    "execute_cell",
+    "run_grid",
+    "run_sweep",
+]

@@ -1,0 +1,128 @@
+"""On-disk memoization of finished sweep cells.
+
+Layout (all JSON, human-inspectable)::
+
+    <root>/
+      <key[:2]>/<key>.json    one finished cell per file
+
+where ``key`` is the cell's sha256 content hash over (resolved config,
+platform, workload, seed and trace knobs) — see ``SweepCell.cache_key``.
+Each file holds ``{"version", "key", "cell", "result"}`` with ``result``
+being a ``PlatformResult.to_record()`` payload.
+
+Entries are written atomically (tmp file + rename).  A corrupted or
+stale-versioned entry is treated as a miss: it is deleted and the cell is
+recomputed, so a torn write can never poison a sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.platforms.base import PlatformResult
+
+#: Bump when the record schema changes; older entries become misses.
+CACHE_VERSION = 1
+
+#: Default cache root (override per-sweep or with REPRO_CACHE_DIR).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+class ResultCache:
+    """A content-addressed store of finished cells with hit/miss accounting."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt_dropped = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[PlatformResult]:
+        """Return the cached result for ``key``, or ``None`` on miss.
+
+        Any unreadable entry — truncated JSON, wrong schema version, missing
+        fields — is dropped and reported as a miss.
+        """
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+            if not isinstance(payload, dict):
+                raise ValueError("cache entry is not a JSON object")
+            if payload.get("version") != CACHE_VERSION or payload.get("key") != key:
+                raise ValueError("stale or mismatched cache entry")
+            result = PlatformResult.from_record(payload["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            self.corrupt_dropped += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: PlatformResult, cell_descriptor: Dict[str, object]) -> None:
+        """Persist one finished cell atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": CACHE_VERSION,
+            "key": key,
+            "cell": cell_descriptor,
+            "result": result.to_record(),
+        }
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.root.exists():
+            for entry in self.root.glob("*/*.json"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0

@@ -1,0 +1,240 @@
+"""The sweep orchestrator: expand a spec, fan cells out, memoize results.
+
+Execution model
+---------------
+Every cell is an independent pure function of its descriptor: the worker
+rebuilds the (deterministically seeded) trace and a fresh platform, runs it,
+and hands back a :class:`~repro.platforms.base.PlatformResult`.  Because no
+state is shared, serial and parallel execution produce bit-identical results
+and finished cells can be cached on disk across invocations.
+
+Workers are plain ``multiprocessing`` pool processes; the cell objects and
+results cross the process boundary by pickle.  Cells already present in the
+:class:`~repro.runner.cache.ResultCache` are never dispatched at all, which
+is what makes ablation reruns incremental.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.platforms.base import GPUSSDPlatform, PlatformResult
+from repro.runner.cache import ResultCache
+from repro.runner.spec import SweepCell, SweepSpec, build_cell_trace
+
+#: Per-process memo of generated traces: all platforms of one sweep share the
+#: same (workload, seed, knobs) trace, so each worker builds it only once.
+_TRACE_MEMO: Dict[Tuple, object] = {}
+
+
+def _trace_for(cell: SweepCell):
+    memo_key = (
+        cell.workload,
+        cell.scale,
+        cell.seed,
+        cell.num_sms,
+        cell.warps_per_sm,
+        cell.memory_instructions_per_warp,
+    )
+    trace = _TRACE_MEMO.get(memo_key)
+    if trace is None:
+        trace = build_cell_trace(cell)
+        if len(_TRACE_MEMO) > 32:  # bound worker memory across long sweeps
+            _TRACE_MEMO.clear()
+        _TRACE_MEMO[memo_key] = trace
+    return trace
+
+
+def execute_cell(cell: SweepCell) -> PlatformResult:
+    """Run one cell to completion (the function a pool worker executes)."""
+    return GPUSSDPlatform.execute(cell.platform, _trace_for(cell), cell.resolved_config())
+
+
+def _execute_indexed(item: Tuple[int, SweepCell]) -> Tuple[int, PlatformResult]:
+    index, cell = item
+    return index, execute_cell(cell)
+
+
+@dataclass
+class CellRun:
+    """One finished cell: the job, its result, and where the result came from."""
+
+    cell: SweepCell
+    result: PlatformResult
+    from_cache: bool = False
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.cell.platform, self.cell.workload, self.cell.override_set.label)
+
+
+@dataclass
+class SweepResult:
+    """All finished cells of one sweep plus cache/timing accounting."""
+
+    spec: SweepSpec
+    runs: List[CellRun] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def __iter__(self):
+        return iter(self.runs)
+
+    def get(
+        self, platform: str, workload: str, label: str = "default"
+    ) -> Optional[PlatformResult]:
+        for run in self.runs:
+            if run.key == (platform, workload, label):
+                return run.result
+        return None
+
+    def by_override(self, label: str) -> List[CellRun]:
+        return [run for run in self.runs if run.cell.override_set.label == label]
+
+    def table(self, metric: str = "ipc") -> Dict[str, Dict[str, float]]:
+        """``{workload: {platform: value}}`` for a result attribute."""
+        return {
+            workload: {platform: float(getattr(result, metric))
+                       for platform, result in row.items()}
+            for workload, row in self.grid().items()
+        }
+
+    def grid(self) -> Dict[str, Dict[str, PlatformResult]]:
+        """``{workload: {platform: PlatformResult}}`` (the figures' shape).
+
+        With more than one override set, later sets overwrite earlier ones in
+        the pivot — use :meth:`by_override` for multi-axis sweeps.
+        """
+        out: Dict[str, Dict[str, PlatformResult]] = {}
+        for run in self.runs:
+            out.setdefault(run.cell.workload, {})[run.cell.platform] = run.result
+        return out
+
+    def stats_dicts(self) -> Dict[Tuple[str, str, str], Dict[str, float]]:
+        """Per-cell stats summaries (the serial/parallel equivalence probe)."""
+        return {run.key: run.result.stats.as_dict() for run in self.runs}
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+class SweepRunner:
+    """Runs :class:`SweepSpec` grids across a worker pool with memoization."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Union[ResultCache, os.PathLike, str, None, bool] = False,
+    ) -> None:
+        """``cache`` may be a :class:`ResultCache`, a directory path, ``True``
+        for the default location, or ``False``/``None`` (default) to disable.
+
+        Memoization is opt-in so programmatic callers never write to disk
+        unless they asked to; the CLI opts in by default.
+        """
+        self.workers = max(1, int(workers))
+        if cache is False or cache is None:
+            self.cache: Optional[ResultCache] = None
+        elif isinstance(cache, ResultCache):
+            self.cache = cache
+        elif cache is True:
+            self.cache = ResultCache()
+        else:
+            self.cache = ResultCache(cache)
+
+    # ------------------------------------------------------------------
+    def run(self, spec: SweepSpec) -> SweepResult:
+        started = time.perf_counter()
+        cells = spec.cells()
+        runs: List[Optional[CellRun]] = [None] * len(cells)
+
+        pending: List[Tuple[int, SweepCell]] = []
+        keys: List[Optional[str]] = [None] * len(cells)
+        for index, cell in enumerate(cells):
+            if self.cache is not None:
+                keys[index] = cell.cache_key()
+                cached = self.cache.get(keys[index])
+                if cached is not None:
+                    runs[index] = CellRun(cell=cell, result=cached, from_cache=True)
+                    continue
+            pending.append((index, cell))
+
+        for index, result in self._execute(pending):
+            cell = cells[index]
+            runs[index] = CellRun(cell=cell, result=result, from_cache=False)
+            if self.cache is not None:
+                self.cache.put(keys[index] or cell.cache_key(), result, cell.descriptor())
+
+        hits = sum(1 for run in runs if run is not None and run.from_cache)
+        return SweepResult(
+            spec=spec,
+            runs=[run for run in runs if run is not None],
+            elapsed_seconds=time.perf_counter() - started,
+            cache_hits=hits,
+            cache_misses=len(cells) - hits,
+        )
+
+    # ------------------------------------------------------------------
+    def _execute(
+        self, pending: Sequence[Tuple[int, SweepCell]]
+    ) -> Iterable[Tuple[int, PlatformResult]]:
+        if not pending:
+            return []
+        if self.workers == 1 or len(pending) == 1:
+            return [_execute_indexed(item) for item in pending]
+        context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+        workers = min(self.workers, len(pending))
+        with context.Pool(processes=workers) as pool:
+            # chunksize=1: cells are coarse (whole simulations), so dynamic
+            # dispatch beats pre-chunking when runtimes are skewed.
+            return pool.map(_execute_indexed, list(pending), chunksize=1)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: int = 1,
+    cache: Union[ResultCache, os.PathLike, str, None, bool] = False,
+) -> SweepResult:
+    """One-call programmatic entry point (cache disabled unless requested)."""
+    return SweepRunner(workers=workers, cache=cache).run(spec)
+
+
+def run_grid(
+    platforms: Sequence[str],
+    workloads: Sequence[str],
+    scale: float = 0.25,
+    seed: int = 1,
+    num_sms: int = 16,
+    warps_per_sm: int = 8,
+    memory_instructions_per_warp: int = 64,
+    base_config=None,
+    workers: int = 1,
+    cache: Union[ResultCache, os.PathLike, str, None, bool] = False,
+) -> Dict[str, Dict[str, PlatformResult]]:
+    """Run a platform x workload grid, pivoted to ``{workload: {platform: result}}``.
+
+    The shared convenience behind the figure functions and the benches.
+    """
+    spec = SweepSpec.create(
+        platforms=platforms,
+        workloads=workloads,
+        scale=scale,
+        seed=seed,
+        num_sms=num_sms,
+        warps_per_sm=warps_per_sm,
+        memory_instructions_per_warp=memory_instructions_per_warp,
+        base_config=base_config,
+    )
+    return SweepRunner(workers=workers, cache=cache).run(spec).grid()

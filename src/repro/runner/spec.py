@@ -1,0 +1,261 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` names *what* to run — platforms x workloads x config
+overrides plus the trace-generation knobs — without saying *how*.  The runner
+expands it into independent :class:`SweepCell` jobs, each of which carries a
+canonical plain-data descriptor used for three things at once:
+
+* shipping the job to a worker process (everything is picklable),
+* deterministic per-cell seeding (the trace seed is derived from the spec
+  seed and the workload token only, so every platform sees the same trace
+  and serial/parallel execution are bit-identical), and
+* the content hash that keys the on-disk result cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, fields, is_dataclass, replace
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.config import PlatformConfig, default_config
+from repro.workloads.suites import parse_workload_token, resolve_workload_tokens
+
+#: Override mapping: dotted config path -> value, e.g.
+#: ``{"register_cache.registers_per_plane": 16}``.
+OverrideMapping = Mapping[str, object]
+
+
+def apply_overrides(config: PlatformConfig, overrides: OverrideMapping) -> PlatformConfig:
+    """Return ``config`` with each dotted-path override applied.
+
+    Paths name nested dataclass fields (``znand.channels``); unknown fields
+    raise immediately so a typo cannot silently sweep the default value.
+    """
+    for path, value in overrides.items():
+        config = _replace_path(config, path, path.split("."), value)
+    return config
+
+
+def _replace_path(obj, full_path: str, parts: Sequence[str], value):
+    if not is_dataclass(obj):
+        raise KeyError(f"override path {full_path!r}: {type(obj).__name__} is not a config node")
+    names = {f.name for f in fields(obj)}
+    if parts[0] not in names:
+        raise KeyError(
+            f"override path {full_path!r}: {type(obj).__name__} has no field {parts[0]!r}"
+        )
+    if len(parts) == 1:
+        return replace(obj, **{parts[0]: value})
+    child = _replace_path(getattr(obj, parts[0]), full_path, parts[1:], value)
+    return replace(obj, **{parts[0]: child})
+
+
+@dataclass(frozen=True)
+class OverrideSet:
+    """One labelled point on a configuration axis (``label`` -> overrides)."""
+
+    label: str
+    overrides: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def create(cls, label: str, overrides: Optional[OverrideMapping] = None) -> "OverrideSet":
+        items = tuple(sorted((overrides or {}).items()))
+        return cls(label=label, overrides=items)
+
+    def as_mapping(self) -> Dict[str, object]:
+        return dict(self.overrides)
+
+
+#: What callers may pass as the ``overrides`` argument of ``SweepSpec.create``.
+OverridesInput = Union[None, OverrideMapping, Sequence[OverrideSet], Mapping[str, OverrideMapping]]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative experiment grid: platforms x workloads x overrides."""
+
+    platforms: Tuple[str, ...]
+    workloads: Tuple[str, ...]
+    overrides: Tuple[OverrideSet, ...] = (OverrideSet("default"),)
+    scale: float = 0.25
+    seed: int = 1
+    num_sms: int = 16
+    warps_per_sm: int = 8
+    memory_instructions_per_warp: int = 64
+    #: Optional non-default base config the overrides are applied on top of.
+    base_config: Optional[PlatformConfig] = field(default=None, compare=False)
+
+    @classmethod
+    def create(
+        cls,
+        platforms: Sequence[str],
+        workloads: Sequence[str],
+        overrides: OverridesInput = None,
+        scale: float = 0.25,
+        seed: int = 1,
+        num_sms: int = 16,
+        warps_per_sm: int = 8,
+        memory_instructions_per_warp: int = 64,
+        base_config: Optional[PlatformConfig] = None,
+    ) -> "SweepSpec":
+        """Normalise user-friendly inputs into a spec.
+
+        ``overrides`` may be omitted (one default point), a single mapping of
+        dotted paths, a mapping of ``label -> {path: value}``, or a sequence
+        of :class:`OverrideSet`.  ``workloads`` accepts single applications
+        (``"betw"``), mixes (``"betw-back"``) and group tokens (``"mixes"``,
+        ``"graph"``, ``"scientific"``).
+        """
+        if overrides is None:
+            override_sets: Tuple[OverrideSet, ...] = (OverrideSet("default"),)
+        elif isinstance(overrides, Mapping):
+            if overrides and all(isinstance(v, Mapping) for v in overrides.values()):
+                override_sets = tuple(
+                    OverrideSet.create(str(label), mapping)
+                    for label, mapping in overrides.items()
+                )
+            else:
+                override_sets = (OverrideSet.create("override", overrides),)
+        else:
+            override_sets = tuple(overrides)
+        if not override_sets:
+            override_sets = (OverrideSet("default"),)
+        from repro.platforms.zng import PLATFORM_NAMES
+
+        known_platforms = ["GDDR5"] + PLATFORM_NAMES
+        for platform in platforms:
+            if platform not in known_platforms:
+                raise ValueError(
+                    f"unknown platform {platform!r}; known: {known_platforms}"
+                )
+        return cls(
+            platforms=tuple(platforms),
+            workloads=tuple(resolve_workload_tokens(workloads)),
+            overrides=override_sets,
+            scale=scale,
+            seed=seed,
+            num_sms=num_sms,
+            warps_per_sm=warps_per_sm,
+            memory_instructions_per_warp=memory_instructions_per_warp,
+            base_config=base_config,
+        )
+
+    def cells(self) -> List["SweepCell"]:
+        """Expand the grid into independent jobs (platform-major order)."""
+        out: List[SweepCell] = []
+        for override_set in self.overrides:
+            for workload in self.workloads:
+                for platform in self.platforms:
+                    out.append(
+                        SweepCell(
+                            platform=platform,
+                            workload=workload,
+                            override_set=override_set,
+                            scale=self.scale,
+                            seed=cell_seed(self.seed, workload),
+                            num_sms=self.num_sms,
+                            warps_per_sm=self.warps_per_sm,
+                            memory_instructions_per_warp=self.memory_instructions_per_warp,
+                            base_config=self.base_config,
+                        )
+                    )
+        return out
+
+    def __len__(self) -> int:
+        return len(self.platforms) * len(self.workloads) * len(self.overrides)
+
+
+def cell_seed(spec_seed: int, workload: str) -> int:
+    """Deterministic trace seed for one workload of a sweep.
+
+    Derived from the spec seed and the workload token only — never from the
+    platform or override — so every platform in a sweep sees the identical
+    trace, and a cell re-run in any process reproduces it exactly.
+    """
+    digest = hashlib.sha256(f"{spec_seed}:{workload}".encode()).hexdigest()
+    return int(digest[:8], 16)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (platform, workload, override) job of a sweep."""
+
+    platform: str
+    workload: str
+    override_set: OverrideSet
+    scale: float
+    seed: int
+    num_sms: int
+    warps_per_sm: int
+    memory_instructions_per_warp: int
+    base_config: Optional[PlatformConfig] = field(default=None, compare=False)
+
+    @property
+    def label(self) -> str:
+        if self.override_set.label == "default":
+            return f"{self.platform}/{self.workload}"
+        return f"{self.platform}/{self.workload}/{self.override_set.label}"
+
+    def resolved_config(self) -> PlatformConfig:
+        """The platform config this cell runs with (base + overrides)."""
+        base = self.base_config or default_config()
+        return apply_overrides(base, self.override_set.as_mapping())
+
+    def descriptor(self) -> Dict[str, object]:
+        """Canonical plain-data form: worker payload and cache-key input."""
+        return {
+            "platform": self.platform,
+            "workload": self.workload,
+            "override_label": self.override_set.label,
+            "overrides": [[path, value] for path, value in self.override_set.overrides],
+            "scale": self.scale,
+            "seed": self.seed,
+            "num_sms": self.num_sms,
+            "warps_per_sm": self.warps_per_sm,
+            "memory_instructions_per_warp": self.memory_instructions_per_warp,
+            "config": asdict(self.resolved_config()),
+        }
+
+    def cache_key(self) -> str:
+        """Content hash of everything that determines this cell's result.
+
+        The resolved config is hashed (not just the overrides), so sweeps
+        with different base configs — or a changed Table I default — never
+        alias each other's cache entries.
+        """
+        canonical = json.dumps(self.descriptor(), sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def build_cell_trace(cell: SweepCell):
+    """Generate the (deterministic) workload trace a cell runs.
+
+    Single-app tokens build one trace; ``read-write`` tokens build the paper's
+    co-run mix with the two applications in disjoint address ranges.
+    """
+    from repro.workloads.generators import generate_workload
+    from repro.workloads.multiapp import build_mix
+    from repro.workloads.suites import workload_by_name
+
+    read_app, write_app = parse_workload_token(cell.workload)
+    if write_app is None:
+        return generate_workload(
+            workload_by_name(read_app),
+            scale=cell.scale,
+            seed=cell.seed,
+            num_sms=cell.num_sms,
+            warps_per_sm=cell.warps_per_sm,
+            memory_instructions_per_warp=cell.memory_instructions_per_warp,
+        )
+    mix = build_mix(
+        read_app,
+        write_app,
+        scale=cell.scale,
+        seed=cell.seed,
+        num_sms=cell.num_sms,
+        warps_per_sm=cell.warps_per_sm,
+        memory_instructions_per_warp=cell.memory_instructions_per_warp,
+    )
+    return mix.combined

@@ -110,6 +110,32 @@ class StatsCollector:
             return {}
         return {name: value / total for name, value in self.breakdown.items()}
 
+    # -- serialisation ------------------------------------------------------
+    #
+    # Sweep workers return their statistics across process boundaries and the
+    # result cache persists them as JSON, so the collector must round-trip
+    # losslessly through plain dictionaries (and through pickle, which the
+    # plain-data attributes already guarantee).
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable snapshot that :meth:`from_dict` restores exactly."""
+        return {
+            "counters": {name: c.value for name, c in self.counters.items()},
+            "histograms": {name: list(h.samples) for name, h in self.histograms.items()},
+            "breakdown": dict(self.breakdown),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "StatsCollector":
+        """Rebuild a collector from a :meth:`to_dict` snapshot."""
+        collector = cls()
+        for name, value in dict(payload.get("counters", {})).items():
+            collector.counter(name).value = float(value)
+        for name, samples in dict(payload.get("histograms", {})).items():
+            collector.histogram(name).samples = [float(s) for s in samples]
+        collector.add_breakdown(dict(payload.get("breakdown", {})))
+        return collector
+
     # -- aggregation --------------------------------------------------------
     def merge(self, other: "StatsCollector") -> None:
         for name, counter in other.counters.items():

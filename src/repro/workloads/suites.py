@@ -9,7 +9,7 @@ the bars), and the sequential fraction reflects each kernel's access pattern
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.workloads.trace import WorkloadSpec
 
@@ -139,3 +139,53 @@ def workload_by_name(name: str) -> WorkloadSpec:
 def mix_name(read_app: str, write_app: str) -> str:
     """The paper's naming convention for co-run mixes, e.g. ``betw-back``."""
     return f"{read_app}-{write_app}"
+
+
+# ---------------------------------------------------------------------------
+# Workload tokens (the sweep runner's workload vocabulary)
+# ---------------------------------------------------------------------------
+
+#: Named suites a sweep spec can reference as a group.
+SUITES: Dict[str, Dict[str, WorkloadSpec]] = {
+    "graph": GRAPH_WORKLOADS,
+    "scientific": SCIENTIFIC_WORKLOADS,
+}
+
+
+def parse_workload_token(token: str) -> Tuple[str, Optional[str]]:
+    """Split a workload token into ``(app, co_runner)``.
+
+    ``"betw"`` is a single application, ``"betw-back"`` a co-run mix.  Both
+    halves are validated against the Table II catalogue.
+    """
+    parts = token.split("-")
+    if len(parts) == 1:
+        workload_by_name(parts[0])
+        return parts[0], None
+    if len(parts) == 2:
+        workload_by_name(parts[0])
+        workload_by_name(parts[1])
+        return parts[0], parts[1]
+    raise ValueError(f"malformed workload token {token!r} (use 'app' or 'read-write')")
+
+
+def resolve_workload_tokens(tokens: Iterable[str]) -> List[str]:
+    """Expand group tokens and validate, preserving order and uniqueness.
+
+    ``"mixes"`` expands to all twelve evaluation mixes; a suite name
+    (``"graph"``, ``"scientific"``) expands to its single applications; any
+    other token must be a valid single workload or ``read-write`` mix.
+    """
+    resolved: List[str] = []
+    for token in tokens:
+        if token == "mixes":
+            expansion = [mix_name(r, w) for r, w in MULTI_APP_MIXES]
+        elif token in SUITES:
+            expansion = sorted(SUITES[token])
+        else:
+            parse_workload_token(token)
+            expansion = [token]
+        for name in expansion:
+            if name not in resolved:
+                resolved.append(name)
+    return resolved

@@ -1,0 +1,1 @@
+"""Package marker so duplicate test basenames collect under distinct module names."""

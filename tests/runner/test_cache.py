@@ -1,0 +1,142 @@
+"""Tests for the on-disk result cache: hit/miss semantics and corruption recovery."""
+
+import json
+
+import pytest
+
+from repro.platforms.base import GPUSSDPlatform, PlatformResult
+from repro.runner import CACHE_VERSION, ResultCache, SweepSpec, execute_cell
+
+
+@pytest.fixture(scope="module")
+def cell():
+    spec = SweepSpec.create(
+        platforms=["ZnG-base"],
+        workloads=["betw-back"],
+        scale=0.05,
+        warps_per_sm=2,
+        memory_instructions_per_warp=12,
+    )
+    return spec.cells()[0]
+
+
+@pytest.fixture(scope="module")
+def result(cell):
+    return execute_cell(cell)
+
+
+def _entry_path(cache, key):
+    return cache.root / key[:2] / f"{key}.json"
+
+
+class TestHitMiss:
+    def test_empty_cache_misses(self, tmp_path, cell):
+        cache = ResultCache(tmp_path)
+        assert cache.get(cell.cache_key()) is None
+        assert cache.misses == 1 and cache.hits == 0
+
+    def test_put_then_get_hits_identically(self, tmp_path, cell, result):
+        cache = ResultCache(tmp_path)
+        key = cell.cache_key()
+        cache.put(key, result, cell.descriptor())
+        restored = cache.get(key)
+        assert restored is not None
+        assert cache.hits == 1
+        assert restored.stats.as_dict() == result.stats.as_dict()
+        assert restored.ipc == result.ipc
+        assert restored.latency_breakdown == result.latency_breakdown
+
+    def test_different_key_still_misses(self, tmp_path, cell, result):
+        cache = ResultCache(tmp_path)
+        cache.put(cell.cache_key(), result, cell.descriptor())
+        assert cache.get("0" * 64) is None
+
+    def test_len_and_clear(self, tmp_path, cell, result):
+        cache = ResultCache(tmp_path)
+        cache.put(cell.cache_key(), result, cell.descriptor())
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestCorruptionRecovery:
+    def test_truncated_entry_dropped_and_recomputed(self, tmp_path, cell, result):
+        cache = ResultCache(tmp_path)
+        key = cell.cache_key()
+        cache.put(key, result, cell.descriptor())
+        path = _entry_path(cache, key)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+
+        assert cache.get(key) is None
+        assert cache.corrupt_dropped == 1
+        assert not path.exists(), "corrupt entry must be deleted"
+
+        # The cell recomputes and repopulates; the fresh entry then hits.
+        recomputed = execute_cell(cell)
+        cache.put(key, recomputed, cell.descriptor())
+        assert cache.get(key).stats.as_dict() == result.stats.as_dict()
+
+    def test_wrong_version_treated_as_miss(self, tmp_path, cell, result):
+        cache = ResultCache(tmp_path)
+        key = cell.cache_key()
+        cache.put(key, result, cell.descriptor())
+        path = _entry_path(cache, key)
+        payload = json.loads(path.read_text())
+        payload["version"] = CACHE_VERSION + 1
+        path.write_text(json.dumps(payload))
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_key_mismatch_treated_as_miss(self, tmp_path, cell, result):
+        cache = ResultCache(tmp_path)
+        key = cell.cache_key()
+        cache.put(key, result, cell.descriptor())
+        path = _entry_path(cache, key)
+        payload = json.loads(path.read_text())
+        payload["key"] = "f" * 64
+        path.write_text(json.dumps(payload))
+        assert cache.get(key) is None
+
+    @pytest.mark.parametrize("content", ["null", "123", '"x"', "[]"])
+    def test_non_object_json_treated_as_miss(self, tmp_path, cell, result, content):
+        cache = ResultCache(tmp_path)
+        key = cell.cache_key()
+        cache.put(key, result, cell.descriptor())
+        path = _entry_path(cache, key)
+        path.write_text(content)
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_garbage_json_object_treated_as_miss(self, tmp_path, cell, result):
+        cache = ResultCache(tmp_path)
+        key = cell.cache_key()
+        path = _entry_path(cache, key)
+        path.parent.mkdir(parents=True)
+        path.write_text('{"version": %d, "key": "%s"}' % (CACHE_VERSION, key))
+        assert cache.get(key) is None
+
+
+class TestRecordRoundTrip:
+    def test_json_round_trip_is_lossless(self, result):
+        record = json.loads(json.dumps(result.to_record()))
+        restored = PlatformResult.from_record(record)
+        assert restored.stats.to_dict() == result.stats.to_dict()
+        assert restored.execution.cycles == result.execution.cycles
+        assert restored.execution.per_sm == result.execution.per_sm
+        assert restored.extra == result.extra
+
+
+class TestMergedWith:
+    def test_merge_preserves_per_sm_and_weights_hit_rate(self, result):
+        clone = PlatformResult.from_record(result.to_record())
+        merged = result.merged_with(clone)
+        assert merged.execution.instructions == 2 * result.execution.instructions
+        assert merged.execution.cycles == result.execution.cycles
+        # Per-SM statistics survive the merge with counters added.
+        assert set(merged.execution.per_sm) == set(result.execution.per_sm)
+        for sm_id, sm in result.execution.per_sm.items():
+            assert merged.execution.per_sm[sm_id].instructions == 2 * sm.instructions
+            assert merged.execution.per_sm[sm_id].completion_cycle == sm.completion_cycle
+        # Merging equal shards keeps the (traffic-weighted) hit rate unchanged.
+        assert merged.l2_hit_rate == pytest.approx(result.l2_hit_rate)
+        assert merged.stats.get("requests") == 2 * result.stats.get("requests")

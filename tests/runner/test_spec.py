@@ -1,0 +1,103 @@
+"""Tests for sweep specifications, override application and cell hashing."""
+
+import pytest
+
+from repro.config import default_config
+from repro.runner import OverrideSet, SweepSpec, apply_overrides, cell_seed
+
+
+class TestApplyOverrides:
+    def test_nested_override_applies(self, config):
+        out = apply_overrides(config, {"register_cache.registers_per_plane": 16})
+        assert out.register_cache.registers_per_plane == 16
+
+    def test_original_config_untouched(self, config):
+        before = config.znand.channels
+        apply_overrides(config, {"znand.channels": before + 1})
+        assert config.znand.channels == before
+
+    def test_multiple_overrides(self, config):
+        out = apply_overrides(
+            config,
+            {"znand.channels": 2, "prefetch.prefetch_threshold": 3},
+        )
+        assert out.znand.channels == 2
+        assert out.prefetch.prefetch_threshold == 3
+
+    def test_unknown_field_raises(self, config):
+        with pytest.raises(KeyError):
+            apply_overrides(config, {"znand.not_a_field": 1})
+
+    def test_unknown_subtree_raises(self, config):
+        with pytest.raises(KeyError):
+            apply_overrides(config, {"nonsense.field": 1})
+
+
+class TestSweepSpec:
+    def test_grid_expansion(self):
+        spec = SweepSpec.create(
+            platforms=["ZnG", "ZnG-base"],
+            workloads=["betw-back", "bfs1"],
+            overrides={"a": {"znand.channels": 2}, "b": {"znand.channels": 4}},
+        )
+        cells = spec.cells()
+        assert len(cells) == len(spec) == 2 * 2 * 2
+        labels = {cell.label for cell in cells}
+        assert "ZnG/betw-back/a" in labels
+
+    def test_group_token_expansion(self):
+        spec = SweepSpec.create(platforms=["ZnG"], workloads=["mixes"])
+        assert len(spec.workloads) == 12
+        assert "betw-back" in spec.workloads
+
+    def test_invalid_workload_rejected(self):
+        with pytest.raises(KeyError):
+            SweepSpec.create(platforms=["ZnG"], workloads=["nosuch"])
+
+    def test_seed_depends_on_workload_not_platform(self):
+        spec = SweepSpec.create(
+            platforms=["ZnG", "GDDR5"], workloads=["betw-back", "bfs1-gaus"]
+        )
+        by_workload = {}
+        for cell in spec.cells():
+            by_workload.setdefault(cell.workload, set()).add(cell.seed)
+        # One seed per workload, shared by every platform...
+        assert all(len(seeds) == 1 for seeds in by_workload.values())
+        # ...and different workloads get different seeds.
+        assert len({next(iter(s)) for s in by_workload.values()}) == 2
+
+    def test_cell_seed_deterministic(self):
+        assert cell_seed(1, "betw-back") == cell_seed(1, "betw-back")
+        assert cell_seed(1, "betw-back") != cell_seed(2, "betw-back")
+
+
+class TestCacheKey:
+    def _cell(self, **kwargs):
+        spec = SweepSpec.create(
+            platforms=[kwargs.pop("platform", "ZnG")],
+            workloads=[kwargs.pop("workload", "betw-back")],
+            **kwargs,
+        )
+        return spec.cells()[0]
+
+    def test_stable_across_processes_inputs(self):
+        assert self._cell().cache_key() == self._cell().cache_key()
+
+    def test_distinguishes_platform_workload_scale_and_config(self):
+        base = self._cell().cache_key()
+        assert self._cell(platform="ZnG-base").cache_key() != base
+        assert self._cell(workload="bfs1-gaus").cache_key() != base
+        assert self._cell(scale=0.5).cache_key() != base
+        assert self._cell(overrides={"znand.channels": 2}).cache_key() != base
+
+    def test_base_config_changes_key(self):
+        custom = default_config().copy()
+        custom.znand = type(custom.znand)(channels=2)
+        assert self._cell(base_config=custom).cache_key() != self._cell().cache_key()
+
+
+class TestOverrideSet:
+    def test_create_sorts_items(self):
+        a = OverrideSet.create("x", {"b.c": 1, "a.b": 2})
+        b = OverrideSet.create("x", {"a.b": 2, "b.c": 1})
+        assert a == b

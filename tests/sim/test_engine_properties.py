@@ -47,6 +47,60 @@ class TestResourceInvariants:
         for (_, end), (next_start, _) in zip(intervals, intervals[1:]):
             assert next_start >= end - 1e-6
 
+    @given(
+        arrivals=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e4),
+                st.floats(min_value=0.1, max_value=200.0),
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        ports=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_port_count_respected_under_interleavings(self, arrivals, ports):
+        """At no instant do more than ``ports`` services overlap."""
+        resource = Resource("r", ports=ports)
+        intervals = []
+        for when, duration in arrivals:
+            start = resource.acquire(when, duration)
+            intervals.append((start, start + duration))
+        # Sweep the interval endpoints: concurrent services never exceed ports.
+        events = sorted(
+            [(start, 1) for start, _ in intervals] + [(end, -1) for _, end in intervals],
+            key=lambda event: (event[0], event[1]),  # process ends before starts
+        )
+        active = 0
+        for _, delta in events:
+            active += delta
+            assert active <= ports
+
+    @given(
+        arrivals=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e4),
+                st.floats(min_value=0.0, max_value=500.0),
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        ports=st.integers(min_value=1, max_value=8),
+        horizon=st.floats(min_value=0.0, max_value=1e5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_utilization_never_exceeds_one(self, arrivals, ports, horizon):
+        resource = Resource("r", ports=ports)
+        for when, duration in arrivals:
+            resource.acquire(when, duration)
+        assert 0.0 <= resource.utilization(horizon) <= 1.0
+        # The unclamped quantity must already be <= 1 at the completion
+        # horizon (utilization() clamps, so check the raw accounting too:
+        # total booked port-time cannot exceed ports x elapsed time).
+        assert resource.busy_cycles == pytest.approx(sum(d for _, d in arrivals))
+        if resource.last_completion > 0:
+            assert resource.busy_cycles <= resource.last_completion * ports + 1e-6
+
     @given(ports=st.integers(min_value=1, max_value=16))
     @settings(max_examples=20, deadline=None)
     def test_parallel_arrivals_use_all_ports(self, ports):
@@ -83,6 +137,34 @@ class TestBandwidthInvariants:
             completion = link.transfer(0.0, size)
         min_time = sum(s / bw for s in sizes)
         assert completion >= min_time - 1e-6
+
+
+    @given(
+        transfers=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e4),
+                st.integers(min_value=1, max_value=1 << 20),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        bw=st.floats(min_value=0.5, max_value=1024.0),
+        fixed_latency=st.floats(min_value=0.0, max_value=500.0),
+        ports=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_transfer_completion_formula(self, transfers, bw, fixed_latency, ports):
+        """Completion is exactly start + fixed_latency + bytes/bw, every time."""
+        link = BandwidthResource("l", bytes_per_cycle=bw, ports=ports,
+                                 fixed_latency=fixed_latency)
+        shadow = Resource("shadow", ports=ports)
+        for when, size in transfers:
+            completion = link.transfer(when, size)
+            # The same arrival against a plain resource with the computed
+            # duration reproduces the start cycle the link must have used.
+            start = shadow.acquire(when, link.transfer_time(size))
+            assert completion == start + link.transfer_time(size)
+            assert link.transfer_time(size) == fixed_latency + size / bw
 
 
 class TestPoolInvariants:

@@ -40,3 +40,50 @@ class TestCLI:
     def test_fig10(self, capsys):
         assert main(["fig10", "0.05"]) == 0
         assert "Figure 10" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    ARGS = [
+        "sweep", "--platforms", "ZnG-base", "--workloads", "bfs1",
+        "--workers", "1", "--scale", "0.05", "--warps", "2",
+    ]
+
+    def test_sweep_no_cache(self, capsys):
+        assert main(self.ARGS + ["--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "bfs1" in out and "1 cells" in out
+
+    def test_sweep_cache_round_trip(self, capsys, tmp_path):
+        cache = ["--cache-dir", str(tmp_path)]
+        assert main(self.ARGS + cache) == 0
+        assert "0 served from cache" in capsys.readouterr().out
+        assert main(self.ARGS + cache) == 0
+        assert "1 served from cache" in capsys.readouterr().out
+
+    def test_sweep_override_axis(self, capsys):
+        assert main(self.ARGS + [
+            "--no-cache", "--set", "wide:znand.channels=32",
+        ]) == 0
+        assert "wide" in capsys.readouterr().out
+
+    def test_sweep_unknown_option(self, capsys):
+        assert main(["sweep", "--bogus", "1"]) == 2
+
+    def test_sweep_missing_value(self, capsys):
+        assert main(["sweep", "--platforms"]) == 2
+
+    def test_sweep_unknown_platform(self, capsys):
+        assert main(["sweep", "--platforms", "NoSuch", "--no-cache"]) == 2
+        assert "unknown platform" in capsys.readouterr().out
+
+    def test_sweep_unknown_workload(self, capsys):
+        assert main(["sweep", "--workloads", "frobnicate", "--no-cache"]) == 2
+        assert "unknown workload" in capsys.readouterr().out
+
+    def test_sweep_bad_override_path(self, capsys):
+        assert main(self.ARGS + ["--no-cache", "--set", "x:znand.bogus=1"]) == 2
+        assert "no field" in capsys.readouterr().out
+
+    def test_sweep_malformed_override(self, capsys):
+        assert main(["sweep", "--set", "junk", "--no-cache"]) == 2
+        assert "malformed override" in capsys.readouterr().out
