@@ -24,6 +24,8 @@ Sweep options::
     --warps N             warps per SM              (default: 8)
     --cache-dir DIR       result cache location     (default: .repro-cache)
     --no-cache            disable the result cache
+    --perf-report         print cells/sec plus the trace-build / simulate /
+                          cache time split and write it to BENCH_sweep.json
 """
 
 from __future__ import annotations
@@ -136,11 +138,16 @@ def _cmd_sweep(args: List[str]) -> int:
     override_axis = {}
     workers, scale, seed, warps = 4, 0.2, 1, 8
     cache: object = True  # memoize in the default cache location
+    perf_report = False
     index = 0
     while index < len(args):
         flag = args[index]
         if flag == "--no-cache":
             cache = False
+            index += 1
+            continue
+        if flag == "--perf-report":
+            perf_report = True
             index += 1
             continue
         if flag.startswith("--") and index + 1 >= len(args):
@@ -215,6 +222,29 @@ def _cmd_sweep(args: List[str]) -> int:
         f"{result.cache_hits} served from cache"
         + (f" ({runner.cache.root})" if runner.cache is not None else "")
     )
+    if perf_report:
+        import json
+
+        report = result.perf_report()
+        print(
+            f"perf: {report['executed_cells_per_sec']:.1f} simulated cells/sec "
+            f"({report['cells_per_sec']:.1f} incl. cache-served) | "
+            f"trace-build {report['trace_build_seconds']:.3f}s, "
+            f"simulate {report['simulate_seconds']:.3f}s, "
+            f"cache {report['cache_seconds']:.3f}s (worker-time aggregates)"
+        )
+        if report["executed_cells"] == 0:
+            # Don't overwrite the perf trajectory with a cache-read number.
+            print(
+                "perf: every cell came from the result cache — this measures "
+                "cache reads, not the simulator; BENCH_sweep.json left "
+                "untouched (rerun with --no-cache for a hot-path number)"
+            )
+        else:
+            with open("BENCH_sweep.json", "w") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print("perf report written to BENCH_sweep.json")
     return 0
 
 

@@ -9,6 +9,7 @@ by a validation bench and make the model's assumptions explicit.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict
 
@@ -25,9 +26,16 @@ class ValidationResult:
 
     @property
     def relative_error(self) -> float:
+        """``|measured - analytic| / |analytic|``.
+
+        A zero analytic prediction with a non-zero measurement is an
+        *infinite* relative error, not a perfect match — reporting 0.0 there
+        (as this used to) made exactly the broken-model case look validated.
+        Only the genuinely-agreeing 0 == 0 case has zero error.
+        """
         if self.analytic == 0:
-            return 0.0
-        return abs(self.measured - self.analytic) / self.analytic
+            return 0.0 if self.measured == 0 else math.inf
+        return abs(self.measured - self.analytic) / abs(self.analytic)
 
     def within(self, tolerance: float) -> bool:
         return self.relative_error <= tolerance

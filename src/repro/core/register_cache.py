@@ -93,11 +93,12 @@ class FlashRegisterCache:
             if scope == "package"
             else self.config.registers_per_plane
         )
-        # Per-group LRU map: virtual page -> RegisterEntry.
-        self._packages: Dict[int, "OrderedDict[int, RegisterEntry]"] = {
-            group: OrderedDict() for group in range(num_groups)
-        }
-        self._allocation_rotor: Dict[int, int] = {g: 0 for g in range(num_groups)}
+        self.num_groups = num_groups
+        # Per-group LRU map (virtual page -> RegisterEntry), materialised on
+        # first touch: plane scope means up to 1024 groups per platform and
+        # building them all eagerly dominated construction at smoke scales.
+        self._packages: Dict[int, "OrderedDict[int, RegisterEntry]"] = {}
+        self._allocation_rotor: Dict[int, int] = {}
         self.thrashing_checker = ThrashingChecker(self.config)
         # Statistics.
         self.write_hits = 0
@@ -120,11 +121,19 @@ class FlashRegisterCache:
             return self.package_of_plane(plane_id)
         return plane_id
 
+    def _group(self, group: int) -> "OrderedDict[int, RegisterEntry]":
+        registers = self._packages.get(group)
+        if registers is None:
+            registers = self._packages[group] = OrderedDict()
+        return registers
+
     def occupancy(self, group: int) -> int:
-        return len(self._packages[group])
+        registers = self._packages.get(group)
+        return len(registers) if registers is not None else 0
 
     def holds(self, group: int, virtual_page: int) -> bool:
-        return virtual_page in self._packages[group]
+        registers = self._packages.get(group)
+        return registers is not None and virtual_page in registers
 
     # ------------------------------------------------------------------
     def write(
@@ -145,7 +154,7 @@ class FlashRegisterCache:
         pinned into the L2 instead of being programmed.
         """
         group = self.group_of_plane(target_plane)
-        registers = self._packages[group]
+        registers = self._group(group)
         entry = registers.get(virtual_page)
 
         if entry is not None:
@@ -170,7 +179,7 @@ class FlashRegisterCache:
         # round-robin so asymmetric write patterns still spread over the
         # package's registers, in plane scope it is the target plane itself.
         if self.scope == "package":
-            rotor = self._allocation_rotor[group]
+            rotor = self._allocation_rotor.get(group, 0)
             home_plane = rotor % self.planes_per_package
             self._allocation_rotor[group] = rotor + 1
         else:
@@ -243,7 +252,9 @@ class FlashRegisterCache:
         """
         if self.scope != "plane":
             return now
-        registers = self._packages[target_plane]
+        registers = self._packages.get(target_plane)
+        if not registers:
+            return now
         time = now
         while registers:
             victim_page, _ = registers.popitem(last=False)

@@ -64,10 +64,11 @@ class ZeroOverheadFTL:
 
         self.dbmt = DataBlockMappingTable(self.config.dbmt_size_bytes)
         self.lbmt = LogBlockMappingTable(self.config.data_blocks_per_log_block)
-        self.row_decoders: Dict[int, ProgrammableRowDecoder] = {
-            plane: ProgrammableRowDecoder(plane, self.geometry.pages_per_block)
-            for plane in range(self.geometry.total_planes)
-        }
+        # Row decoders materialise on first touch: one per plane exists
+        # physically, but a cell only exercises the planes its footprint
+        # maps to, and eagerly building 1024 of them per platform dominated
+        # construction at smoke scales.
+        self.row_decoders: Dict[int, ProgrammableRowDecoder] = {}
 
         # Physical block allocation: data blocks come from the bottom of each
         # plane, log blocks from the over-provisioned top fraction.
@@ -156,8 +157,17 @@ class ZeroOverheadFTL:
             self.block_plane(flat_block_id), self.block_in_plane(flat_block_id), page_index
         )
 
+    def row_decoder(self, plane: int) -> ProgrammableRowDecoder:
+        """The (lazily created) programmable row decoder of one plane."""
+        decoder = self.row_decoders.get(plane)
+        if decoder is None:
+            decoder = self.row_decoders[plane] = ProgrammableRowDecoder(
+                plane, self.geometry.pages_per_block
+            )
+        return decoder
+
     def decoder_of_block(self, flat_block_id: int) -> ProgrammableRowDecoder:
-        return self.row_decoders[self.block_plane(flat_block_id)]
+        return self.row_decoder(self.block_plane(flat_block_id))
 
     # ------------------------------------------------------------------
     # Mapping setup (loading the data set into flash)

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """One tag-array entry."""
 
@@ -73,7 +73,11 @@ class SetAssociativeCache:
         self.assoc = assoc
         self.line_bytes = line_bytes
         self.num_sets = max(1, num_lines // assoc)
-        self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(self.num_sets)]
+        # Sets are allocated on first touch: a large L2 has thousands of sets
+        # and eagerly building one dict per set dominates platform
+        # construction at smoke scales, while most sweeps touch a fraction
+        # of them.  Keyed by set index -> {tag: line}.
+        self._sets: Dict[int, Dict[int, CacheLine]] = {}
         self._use_clock = 0
         # Statistics.
         self.hits = 0
@@ -84,6 +88,8 @@ class SetAssociativeCache:
 
     # -- address helpers ----------------------------------------------------
     def _index_and_tag(self, address: int) -> Tuple[int, int]:
+        # NOTE: lookup() inlines these two expressions (it is the hottest
+        # probe path); change the indexing scheme in both places together.
         line_number = address // self.line_bytes
         return line_number % self.num_sets, line_number // self.num_sets
 
@@ -93,8 +99,11 @@ class SetAssociativeCache:
     # -- core operations ----------------------------------------------------
     def lookup(self, address: int, mark_accessed: bool = True) -> bool:
         """Probe the cache; update LRU state on a hit."""
-        set_index, tag = self._index_and_tag(address)
-        line = self._sets[set_index].get(tag)
+        # Inlined _index_and_tag (keep in lockstep with it): one probe per
+        # L1/L2 access makes the call + tuple overhead measurable.
+        line_number = address // self.line_bytes
+        cache_set = self._sets.get(line_number % self.num_sets)
+        line = cache_set.get(line_number // self.num_sets) if cache_set else None
         if line is None or not line.valid:
             self.misses += 1
             return False
@@ -108,7 +117,8 @@ class SetAssociativeCache:
     def probe(self, address: int) -> bool:
         """Check residency without perturbing LRU state or statistics."""
         set_index, tag = self._index_and_tag(address)
-        line = self._sets[set_index].get(tag)
+        cache_set = self._sets.get(set_index)
+        line = cache_set.get(tag) if cache_set else None
         return line is not None and line.valid
 
     def insert(
@@ -120,7 +130,9 @@ class SetAssociativeCache:
     ) -> CacheAccessResult:
         """Allocate a line for ``address``; evict LRU if the set is full."""
         set_index, tag = self._index_and_tag(address)
-        cache_set = self._sets[set_index]
+        cache_set = self._sets.get(set_index)
+        if cache_set is None:
+            cache_set = self._sets[set_index] = {}
         self._use_clock += 1
         existing = cache_set.get(tag)
         if existing is not None and existing.valid:
@@ -174,11 +186,13 @@ class SetAssociativeCache:
 
     def invalidate(self, address: int) -> bool:
         set_index, tag = self._index_and_tag(address)
-        return self._sets[set_index].pop(tag, None) is not None
+        cache_set = self._sets.get(set_index)
+        return cache_set is not None and cache_set.pop(tag, None) is not None
 
     def mark_dirty(self, address: int) -> bool:
         set_index, tag = self._index_and_tag(address)
-        line = self._sets[set_index].get(tag)
+        cache_set = self._sets.get(set_index)
+        line = cache_set.get(tag) if cache_set else None
         if line is None:
             return False
         line.dirty = True
@@ -187,7 +201,7 @@ class SetAssociativeCache:
     def unpin_all(self) -> int:
         """Release every pinned line (used when register thrashing subsides)."""
         released = 0
-        for cache_set in self._sets:
+        for cache_set in self._sets.values():
             for line in cache_set.values():
                 if line.pinned:
                     line.pinned = False
@@ -195,8 +209,8 @@ class SetAssociativeCache:
         return released
 
     def for_each_line(self, callback: Callable[[int, CacheLine], None]) -> None:
-        for set_index, cache_set in enumerate(self._sets):
-            for line in cache_set.values():
+        for set_index in sorted(self._sets):
+            for line in self._sets[set_index].values():
                 address = (line.tag * self.num_sets + set_index) * self.line_bytes
                 callback(address, line)
 
@@ -212,7 +226,7 @@ class SetAssociativeCache:
 
     @property
     def occupancy(self) -> int:
-        return sum(len(s) for s in self._sets)
+        return sum(len(s) for s in self._sets.values())
 
     def reset_statistics(self) -> None:
         self.hits = 0
@@ -222,5 +236,5 @@ class SetAssociativeCache:
         self.insertions = 0
 
     def clear(self) -> None:
-        self._sets = [dict() for _ in range(self.num_sets)]
+        self._sets = {}
         self.reset_statistics()

@@ -6,9 +6,15 @@ unit merges them into as few 128 B memory requests as possible (Section II-A).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.sim.request import AccessType, MemoryRequest
+
+#: Segment granularity trace generators precompute ``Instruction.segments``
+#: at.  A coalescer configured with any other ``request_bytes`` (e.g. a
+#: ``gpu.memory_request_bytes`` ablation) must ignore precomputed segments
+#: and re-derive them from the thread addresses.
+PRECOMPUTED_SEGMENT_BYTES = 128
 
 
 class CoalescingUnit:
@@ -37,9 +43,24 @@ class CoalescingUnit:
         sm_id: int = 0,
         pc: int = 0,
         issue_cycle: float = 0.0,
+        segments: Optional[Sequence[int]] = None,
     ) -> List[MemoryRequest]:
-        """Build coalesced :class:`MemoryRequest` objects for one warp instruction."""
-        if not addresses:
+        """Build coalesced :class:`MemoryRequest` objects for one warp instruction.
+
+        ``segments`` short-circuits the address collapse with segment
+        addresses precomputed at trace-generation time (see
+        :class:`~repro.gpu.warp.Instruction`).  They are honoured only when
+        this unit's ``request_bytes`` matches the granularity they were
+        precomputed at (:data:`PRECOMPUTED_SEGMENT_BYTES`); an ablated
+        request size falls back to deriving segments from the live config.
+        """
+        if segments is not None and self.request_bytes != PRECOMPUTED_SEGMENT_BYTES:
+            segments = None
+        if segments is None:
+            if not addresses:
+                return []
+            segments = self.coalesce_addresses(addresses)
+        elif not segments:
             return []
         self.instructions_coalesced += 1
         requests = [
@@ -52,7 +73,7 @@ class CoalescingUnit:
                 pc=pc,
                 issue_cycle=issue_cycle,
             )
-            for segment in self.coalesce_addresses(addresses)
+            for segment in segments
         ]
         self.requests_generated += len(requests)
         return requests

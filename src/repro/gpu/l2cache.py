@@ -176,13 +176,28 @@ class SharedL2Cache:
         prefetched: bool = True,
         limit_bytes: Optional[int] = None,
     ) -> List[EvictionRecord]:
-        """Install the lines of a fetched flash page (or a prefix of it)."""
+        """Install the lines of a fetched flash page (or a prefix of it).
+
+        Inserts straight into the bank arrays (one insert per 128 B line)
+        without materialising a per-line :class:`L2AccessOutcome`; page fills
+        happen on every prefetched miss, so this loop is hot.
+        """
         evictions: List[EvictionRecord] = []
         span = min(page_bytes, limit_bytes) if limit_bytes else page_bytes
-        for offset in range(0, span, self.line_bytes):
-            outcome = self.fill(page_address + offset, now, prefetched=prefetched)
-            if outcome.evicted is not None:
-                evictions.append(outcome.evicted)
+        bank_arrays = self._bank_arrays
+        evicted_records = self.evicted_records
+        line_bytes = self.line_bytes
+        num_banks = self.banks
+        for offset in range(0, span, line_bytes):
+            address = page_address + offset
+            result = bank_arrays[(address // line_bytes) % num_banks].insert(
+                address, prefetched=prefetched
+            )
+            if prefetched:
+                self.prefetch_insertions += 1
+            if result.evicted is not None:
+                evictions.append(result.evicted)
+                evicted_records.append(result.evicted)
         return evictions
 
     def probe(self, address: int) -> bool:

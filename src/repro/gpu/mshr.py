@@ -7,11 +7,12 @@ by returning the time at which an entry frees up.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import heapq
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class MSHREntry:
     """One outstanding miss."""
 
@@ -22,7 +23,12 @@ class MSHREntry:
 
 
 class MSHR:
-    """A finite pool of outstanding-miss entries for one cache."""
+    """A finite pool of outstanding-miss entries for one cache.
+
+    Expiry is driven by a min-heap of fill times rather than a scan of every
+    entry per probe: ``lookup``/``allocate`` are on the per-request hot path
+    and the old linear sweep dominated MSHR cost on large traces.
+    """
 
     def __init__(self, name: str, num_entries: int) -> None:
         if num_entries <= 0:
@@ -30,15 +36,23 @@ class MSHR:
         self.name = name
         self.num_entries = num_entries
         self._entries: Dict[int, MSHREntry] = {}
+        # (fill_cycle, line_address) heap with exactly one tuple per live
+        # entry: allocate() pushes only on the primary-miss path (the merge
+        # path returns before the push, and merges never change fill_cycle),
+        # and an entry only leaves _entries when _expire pops its tuple, so
+        # the heap and the dict cannot drift apart.
+        self._fill_heap: List[Tuple[float, int]] = []
         self.primary_misses = 0
         self.secondary_misses = 0
         self.stalls = 0
 
     def _expire(self, now: float) -> None:
         """Retire entries whose fill has completed by ``now``."""
-        finished = [addr for addr, e in self._entries.items() if e.fill_cycle <= now]
-        for address in finished:
-            del self._entries[address]
+        heap = self._fill_heap
+        entries = self._entries
+        while heap and heap[0][0] <= now:
+            _, address = heapq.heappop(heap)
+            entries.pop(address, None)
 
     def lookup(self, line_address: int, now: float) -> Optional[MSHREntry]:
         """Return an in-flight entry covering ``line_address``, if any."""
@@ -64,14 +78,16 @@ class MSHR:
         stall_until = now
         if len(self._entries) >= self.num_entries:
             # Structural hazard: wait until the earliest fill returns.
-            stall_until = min(e.fill_cycle for e in self._entries.values())
+            stall_until = self._fill_heap[0][0]
             self.stalls += 1
             self._expire(stall_until)
+        fill = max(fill_cycle, stall_until)
         self._entries[line_address] = MSHREntry(
             line_address=line_address,
             issue_cycle=stall_until,
-            fill_cycle=max(fill_cycle, stall_until),
+            fill_cycle=fill,
         )
+        heapq.heappush(self._fill_heap, (fill, line_address))
         self.primary_misses += 1
         return stall_until, False
 
@@ -81,6 +97,7 @@ class MSHR:
 
     def reset(self) -> None:
         self._entries.clear()
+        self._fill_heap.clear()
         self.primary_misses = 0
         self.secondary_misses = 0
         self.stalls = 0

@@ -95,6 +95,7 @@ class StreamingMultiprocessor:
             sm_id=self.sm_id,
             pc=instruction.pc,
             issue_cycle=ready,
+            segments=instruction.segments,
         )
         completion = ready
         for request in requests:

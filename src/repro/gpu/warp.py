@@ -10,7 +10,7 @@ system cares about, while staying compact enough to generate synthetically.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.sim.request import AccessType
 
@@ -20,13 +20,19 @@ class Instruction:
     """A run of ``compute_ops`` ALU instructions followed by one memory access.
 
     ``addresses`` holds the per-thread byte addresses of the memory access; an
-    empty list means the record is compute-only.
+    empty list means the record is compute-only.  ``segments`` optionally
+    carries the coalesced 128 B-aligned segment addresses precomputed at
+    trace-generation time (sorted, unique); when present the per-SM coalescer
+    skips re-deriving them from the 32 thread addresses on every execution of
+    the instruction, which matters because one trace is replayed by several
+    platforms per sweep.
     """
 
     pc: int
     compute_ops: int = 0
     addresses: List[int] = field(default_factory=list)
     access: AccessType = AccessType.READ
+    segments: Optional[Tuple[int, ...]] = None
 
     @property
     def is_memory(self) -> bool:

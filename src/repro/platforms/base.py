@@ -214,6 +214,16 @@ class GPUSSDPlatform(ABC):
         self.stats = StatsCollector()
         self.page_size = self.config.gpu.page_size_bytes
         self._memory_bytes_served = 0
+        # The request path runs once per coalesced access; bind its counters
+        # and the latency histogram once instead of a dict lookup per event.
+        stats = self.stats
+        self._ctr_requests = stats.counter("requests")
+        self._ctr_reads = stats.counter("read_requests")
+        self._ctr_writes = stats.counter("write_requests")
+        self._ctr_l2_hits = stats.counter("l2_hits")
+        self._ctr_l2_misses = stats.counter("l2_misses")
+        self._ctr_writes_below_l2 = stats.counter("writes_below_l2")
+        self._hist_latency = stats.histogram("request_latency")
 
     # ------------------------------------------------------------------
     # Hooks for subclasses
@@ -255,11 +265,12 @@ class GPUSSDPlatform(ABC):
     def memory_access(self, request: MemoryRequest, now: float) -> RequestResult:
         """The callback handed to the GPU core for every coalesced request."""
         result = RequestResult(request=request, start_cycle=now, completion_cycle=now)
-        self.stats.add("requests")
-        if request.is_write:
-            self.stats.add("write_requests")
+        is_write = request.is_write
+        self._ctr_requests.value += 1
+        if is_write:
+            self._ctr_writes.value += 1
         else:
-            self.stats.add("read_requests")
+            self._ctr_reads.value += 1
 
         # 1. Virtual-address translation through the shared TLB/MMU.
         translation = self.mmu.translate(request.address, now)
@@ -275,28 +286,29 @@ class GPUSSDPlatform(ABC):
         time = arrival
 
         # 3. Shared L2 access.
-        outcome = self.l2.access(request.address, request.is_write, time)
+        outcome = self.l2.access(request.address, is_write, time)
         result.add_latency("l2_cache", outcome.ready_cycle - time)
         time = outcome.ready_cycle
 
-        if request.is_read:
+        if is_write:
+            completion = self._service_write(request, time, result)
+            self._ctr_writes_below_l2.value += 1
+        else:
             # Let the platform observe the full read stream (e.g. to train a
             # prefetch predictor) regardless of L2 hit/miss.
             self._observe_read(request, outcome.hit)
+            if outcome.hit:
+                self._ctr_l2_hits.value += 1
+                result.hit_level = "l2"
+                completion = time
+            else:
+                self._ctr_l2_misses.value += 1
+                completion = self._service_l2_miss(request, time, result)
 
-        if request.is_write:
-            completion = self._service_write(request, time, result)
-            self.stats.add("writes_below_l2")
-        elif outcome.hit:
-            self.stats.add("l2_hits")
-            result.hit_level = "l2"
+        if completion < time:
             completion = time
-        else:
-            self.stats.add("l2_misses")
-            completion = self._service_l2_miss(request, time, result)
-
-        result.completion_cycle = max(completion, time)
-        self.stats.sample("request_latency", result.latency)
+        result.completion_cycle = completion
+        self._hist_latency.add(completion - now)
         self.stats.add_breakdown(result.breakdown)
         self._memory_bytes_served += request.size
         return result

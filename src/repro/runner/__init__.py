@@ -57,6 +57,7 @@ from repro.runner.runner import (
     execute_cell,
     run_grid,
     run_sweep,
+    shutdown_worker_pools,
 )
 from repro.runner.spec import (
     OverrideSet,
@@ -83,4 +84,5 @@ __all__ = [
     "execute_cell",
     "run_grid",
     "run_sweep",
+    "shutdown_worker_pools",
 ]

@@ -20,13 +20,25 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Dict, Optional
 
 from repro.platforms.base import PlatformResult
 
 #: Bump when the record schema changes; older entries become misses.
-CACHE_VERSION = 1
+#: v2: histograms serialise as streaming state dictionaries, not sample lists.
+CACHE_VERSION = 2
+
+#: A ``*.tmp`` file older than this is an orphan from an interrupted ``put``
+#: (killed between ``mkstemp`` and ``os.replace``) and safe to delete; younger
+#: ones may belong to a concurrent writer and are left alone.
+STALE_TMP_SECONDS = 600.0
+
+#: Roots already swept for orphans by this process.  The sweep walks every
+#: shard directory, so it runs once per process per root — not once per
+#: ResultCache instance, of which the figure layers create one per sweep.
+_GC_SWEPT_ROOTS: set = set()
 
 #: Default cache root (override per-sweep or with REPRO_CACHE_DIR).
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -45,10 +57,44 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
         self.corrupt_dropped = 0
+        self.tmp_collected = 0
+        self._tmp_gc_done = False
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
+
+    def collect_stale_tmp_files(self, min_age_seconds: float = STALE_TMP_SECONDS) -> int:
+        """Delete orphaned ``*.tmp`` files left by interrupted writes.
+
+        ``put`` writes via ``mkstemp`` + ``os.replace``; a process killed in
+        between leaks the tmp file forever.  Runs automatically on the first
+        access of each :class:`ResultCache` instance and on :meth:`clear`.
+        Only files older than ``min_age_seconds`` are collected so a writer
+        racing in another process is never robbed of its in-flight file.
+        """
+        removed = 0
+        if self.root.exists():
+            cutoff = time.time() - min_age_seconds
+            for tmp in self.root.glob("*/*.tmp"):
+                try:
+                    if tmp.stat().st_mtime <= cutoff:
+                        tmp.unlink()
+                        removed += 1
+                except OSError:
+                    continue
+        self.tmp_collected += removed
+        return removed
+
+    def _gc_on_first_access(self) -> None:
+        if self._tmp_gc_done:
+            return
+        self._tmp_gc_done = True
+        root_key = str(self.root.resolve())
+        if root_key in _GC_SWEPT_ROOTS:
+            return
+        _GC_SWEPT_ROOTS.add(root_key)
+        self.collect_stale_tmp_files()
 
     def get(self, key: str) -> Optional[PlatformResult]:
         """Return the cached result for ``key``, or ``None`` on miss.
@@ -56,6 +102,7 @@ class ResultCache:
         Any unreadable entry — truncated JSON, wrong schema version, missing
         fields — is dropped and reported as a miss.
         """
+        self._gc_on_first_access()
         path = self._path(key)
         try:
             payload = json.loads(path.read_text())
@@ -80,6 +127,7 @@ class ResultCache:
 
     def put(self, key: str, result: PlatformResult, cell_descriptor: Dict[str, object]) -> None:
         """Persist one finished cell atomically."""
+        self._gc_on_first_access()
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
@@ -108,7 +156,13 @@ class ResultCache:
         return sum(1 for _ in self.root.glob("*/*.json"))
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry; returns how many were removed.
+
+        Also sweeps orphaned tmp files (regardless of age — clearing is
+        destructive by intent) and removes shard directories left empty, so
+        a cleared cache directory does not accumulate dead ``<key[:2]>/``
+        subdirectories across clear/refill cycles.
+        """
         removed = 0
         if self.root.exists():
             for entry in self.root.glob("*/*.json"):
@@ -117,6 +171,13 @@ class ResultCache:
                     removed += 1
                 except OSError:
                     pass
+            self.collect_stale_tmp_files(min_age_seconds=0.0)
+            for shard in self.root.iterdir():
+                if shard.is_dir():
+                    try:
+                        shard.rmdir()  # only succeeds when the shard is empty
+                    except OSError:
+                        pass
         return removed
 
     @property

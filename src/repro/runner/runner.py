@@ -16,9 +16,11 @@ is what makes ablation reruns incremental.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -27,25 +29,24 @@ from repro.runner.cache import ResultCache
 from repro.runner.spec import SweepCell, SweepSpec, build_cell_trace
 
 #: Per-process memo of generated traces: all platforms of one sweep share the
-#: same (workload, seed, knobs) trace, so each worker builds it only once.
-_TRACE_MEMO: Dict[Tuple, object] = {}
+#: same trace, so each worker builds it only once.  Keyed by
+#: :meth:`SweepCell.trace_key` (everything ``build_cell_trace`` consumes) and
+#: bounded LRU-style: the *oldest* trace is evicted when the memo overflows,
+#: instead of dropping the whole memo and rebuilding the working set.
+_TRACE_MEMO: "OrderedDict[Tuple, object]" = OrderedDict()
+_TRACE_MEMO_MAX_ENTRIES = 32
 
 
 def _trace_for(cell: SweepCell):
-    memo_key = (
-        cell.workload,
-        cell.scale,
-        cell.seed,
-        cell.num_sms,
-        cell.warps_per_sm,
-        cell.memory_instructions_per_warp,
-    )
+    memo_key = cell.trace_key()
     trace = _TRACE_MEMO.get(memo_key)
     if trace is None:
         trace = build_cell_trace(cell)
-        if len(_TRACE_MEMO) > 32:  # bound worker memory across long sweeps
-            _TRACE_MEMO.clear()
         _TRACE_MEMO[memo_key] = trace
+        while len(_TRACE_MEMO) > _TRACE_MEMO_MAX_ENTRIES:
+            _TRACE_MEMO.popitem(last=False)
+    else:
+        _TRACE_MEMO.move_to_end(memo_key)
     return trace
 
 
@@ -54,18 +55,89 @@ def execute_cell(cell: SweepCell) -> PlatformResult:
     return GPUSSDPlatform.execute(cell.platform, _trace_for(cell), cell.resolved_config())
 
 
-def _execute_indexed(item: Tuple[int, SweepCell]) -> Tuple[int, PlatformResult]:
+def _execute_cell_timed(cell: SweepCell) -> Tuple[PlatformResult, Dict[str, float]]:
+    """Run one cell, reporting where its wall time went (for --perf-report)."""
+    started = time.perf_counter()
+    trace = _trace_for(cell)
+    trace_done = time.perf_counter()
+    result = GPUSSDPlatform.execute(cell.platform, trace, cell.resolved_config())
+    finished = time.perf_counter()
+    return result, {
+        "trace_build_seconds": trace_done - started,
+        "simulate_seconds": finished - trace_done,
+    }
+
+
+def _execute_indexed(
+    item: Tuple[int, SweepCell]
+) -> Tuple[int, PlatformResult, Dict[str, float]]:
     index, cell = item
-    return index, execute_cell(cell)
+    result, timings = _execute_cell_timed(cell)
+    return index, result, timings
+
+
+# ---------------------------------------------------------------------------
+# Shared worker pools
+#
+# Forking a fresh pool per sweep costs tens of milliseconds — more than an
+# entire smoke sweep simulates — and the figure/sensitivity layers run many
+# sweeps per process.  Pools are therefore created lazily, keyed by worker
+# count, and reused for every subsequent sweep of the process; workers also
+# keep their _TRACE_MEMO warm across sweeps.  Results are unaffected: cells
+# are pure functions of their descriptor.
+# ---------------------------------------------------------------------------
+_POOLS: Dict[int, multiprocessing.pool.Pool] = {}
+
+
+def _shared_pool(workers: int) -> multiprocessing.pool.Pool:
+    pool = _POOLS.get(workers)
+    if pool is None:
+        context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+        pool = context.Pool(processes=workers)
+        _POOLS[workers] = pool
+    return pool
+
+
+def _discard_pool(workers: int) -> None:
+    """Drop (and terminate) a cached pool after a failed dispatch.
+
+    A sweep that died may have left the pool broken (e.g. a worker was
+    OOM-killed); keeping it cached would poison every later sweep of the
+    process, so the next run gets a fresh fork instead.
+    """
+    pool = _POOLS.pop(workers, None)
+    if pool is not None:
+        pool.terminate()
+        pool.join()
+
+
+def shutdown_worker_pools() -> None:
+    """Terminate every shared sweep pool (registered atexit; callable in tests)."""
+    for pool in _POOLS.values():
+        pool.terminate()
+        pool.join()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_worker_pools)
 
 
 @dataclass
 class CellRun:
-    """One finished cell: the job, its result, and where the result came from."""
+    """One finished cell: the job, its result, and where the result came from.
+
+    ``timings`` holds the worker-side wall-time split of an executed cell
+    (``trace_build_seconds`` / ``simulate_seconds``); cached cells carry an
+    empty mapping.  Timings are diagnostics — they never enter the result
+    record or the cache.
+    """
 
     cell: SweepCell
     result: PlatformResult
     from_cache: bool = False
+    timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def key(self) -> Tuple[str, str, str]:
@@ -81,6 +153,8 @@ class SweepResult:
     elapsed_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Runner-side wall time spent probing/storing the on-disk result cache.
+    cache_seconds: float = 0.0
 
     def __len__(self) -> int:
         return len(self.runs)
@@ -127,6 +201,52 @@ class SweepResult:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
+    # -- perf accounting ------------------------------------------------
+    @property
+    def trace_build_seconds(self) -> float:
+        """Aggregate worker time spent generating traces (sums across workers)."""
+        return sum(run.timings.get("trace_build_seconds", 0.0) for run in self.runs)
+
+    @property
+    def simulate_seconds(self) -> float:
+        """Aggregate worker time spent simulating cells (sums across workers)."""
+        return sum(run.timings.get("simulate_seconds", 0.0) for run in self.runs)
+
+    @property
+    def cells_per_sec(self) -> float:
+        """Overall throughput, cache-served cells included."""
+        return len(self.runs) / self.elapsed_seconds if self.elapsed_seconds else 0.0
+
+    @property
+    def executed_cells_per_sec(self) -> float:
+        """Throughput of the cells that were actually *simulated* this run.
+
+        This is the hot-path trajectory number: a warm cache makes
+        :attr:`cells_per_sec` measure disk reads, not the simulator.
+        """
+        executed = sum(1 for run in self.runs if not run.from_cache)
+        return executed / self.elapsed_seconds if self.elapsed_seconds else 0.0
+
+    def perf_report(self) -> Dict[str, object]:
+        """The ``BENCH_sweep.json`` payload: throughput and where time went.
+
+        Worker-side phase times are *aggregates across workers*, so with N
+        workers they may legitimately sum to more than ``elapsed_seconds``.
+        """
+        return {
+            "schema": "repro-bench-sweep-v1",
+            "cells": len(self.runs),
+            "executed_cells": sum(1 for run in self.runs if not run.from_cache),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "elapsed_seconds": self.elapsed_seconds,
+            "cells_per_sec": self.cells_per_sec,
+            "executed_cells_per_sec": self.executed_cells_per_sec,
+            "trace_build_seconds": self.trace_build_seconds,
+            "simulate_seconds": self.simulate_seconds,
+            "cache_seconds": self.cache_seconds,
+        }
+
 
 class SweepRunner:
     """Runs :class:`SweepSpec` grids across a worker pool with memoization."""
@@ -157,23 +277,30 @@ class SweepRunner:
         started = time.perf_counter()
         cells = spec.cells()
         runs: List[Optional[CellRun]] = [None] * len(cells)
+        cache_seconds = 0.0
 
         pending: List[Tuple[int, SweepCell]] = []
         keys: List[Optional[str]] = [None] * len(cells)
         for index, cell in enumerate(cells):
             if self.cache is not None:
+                probe_started = time.perf_counter()
                 keys[index] = cell.cache_key()
                 cached = self.cache.get(keys[index])
+                cache_seconds += time.perf_counter() - probe_started
                 if cached is not None:
                     runs[index] = CellRun(cell=cell, result=cached, from_cache=True)
                     continue
             pending.append((index, cell))
 
-        for index, result in self._execute(pending):
+        for index, result, timings in self._execute(pending):
             cell = cells[index]
-            runs[index] = CellRun(cell=cell, result=result, from_cache=False)
+            runs[index] = CellRun(
+                cell=cell, result=result, from_cache=False, timings=timings
+            )
             if self.cache is not None:
+                store_started = time.perf_counter()
                 self.cache.put(keys[index] or cell.cache_key(), result, cell.descriptor())
+                cache_seconds += time.perf_counter() - store_started
 
         hits = sum(1 for run in runs if run is not None and run.from_cache)
         return SweepResult(
@@ -182,24 +309,25 @@ class SweepRunner:
             elapsed_seconds=time.perf_counter() - started,
             cache_hits=hits,
             cache_misses=len(cells) - hits,
+            cache_seconds=cache_seconds,
         )
 
     # ------------------------------------------------------------------
     def _execute(
         self, pending: Sequence[Tuple[int, SweepCell]]
-    ) -> Iterable[Tuple[int, PlatformResult]]:
+    ) -> Iterable[Tuple[int, PlatformResult, Dict[str, float]]]:
         if not pending:
             return []
         if self.workers == 1 or len(pending) == 1:
             return [_execute_indexed(item) for item in pending]
-        context = multiprocessing.get_context(
-            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
-        )
-        workers = min(self.workers, len(pending))
-        with context.Pool(processes=workers) as pool:
-            # chunksize=1: cells are coarse (whole simulations), so dynamic
-            # dispatch beats pre-chunking when runtimes are skewed.
+        # chunksize=1: cells are coarse (whole simulations), so dynamic
+        # dispatch beats pre-chunking when runtimes are skewed.
+        pool = _shared_pool(self.workers)
+        try:
             return pool.map(_execute_indexed, list(pending), chunksize=1)
+        except Exception:
+            _discard_pool(self.workers)
+            raise
 
 
 def run_sweep(

@@ -228,6 +228,26 @@ class SweepCell:
         canonical = json.dumps(self.descriptor(), sort_keys=True, default=str)
         return hashlib.sha256(canonical.encode()).hexdigest()
 
+    def trace_key(self) -> Tuple:
+        """Key over *everything* :func:`build_cell_trace` consumes.
+
+        This is what the per-process trace memo hashes on.  It lives next to
+        :func:`build_cell_trace` so the two stay in lockstep: any new knob
+        that influences trace generation must be added to both, otherwise a
+        ``--set`` ablation changing that knob would silently replay a stale
+        memoised trace across cells.  (The platform and override set are
+        deliberately absent — every platform of a sweep runs the identical
+        trace, which is what makes cross-platform comparisons fair.)
+        """
+        return (
+            self.workload,
+            self.scale,
+            self.seed,
+            self.num_sms,
+            self.warps_per_sm,
+            self.memory_instructions_per_warp,
+        )
+
 
 def build_cell_trace(cell: SweepCell):
     """Generate the (deterministic) workload trace a cell runs.

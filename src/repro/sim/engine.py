@@ -50,14 +50,18 @@ class Resource:
     report achieved bandwidth per component.
     """
 
+    __slots__ = ("name", "ports", "_free_at", "busy_cycles", "requests_served",
+                 "last_completion")
+
     def __init__(self, name: str, ports: int = 1) -> None:
         if ports < 1:
             raise ValueError(f"resource {name!r} needs at least one port")
         self.name = name
         self.ports = ports
-        # Min-heap of the times at which each port becomes free.
+        # Min-heap of the times at which each port becomes free.  A list of
+        # identical values is already a valid heap, so no heapify is needed —
+        # platforms construct thousands of these per sweep cell.
         self._free_at: List[float] = [0.0] * ports
-        heapq.heapify(self._free_at)
         self.busy_cycles: float = 0.0
         self.requests_served: int = 0
         self.last_completion: float = 0.0
@@ -66,10 +70,18 @@ class Resource:
         """Book a port; return the start time of service."""
         if duration < 0:
             raise ValueError("duration must be non-negative")
-        earliest_free = heapq.heappop(self._free_at)
-        start = max(when, earliest_free)
-        completion = start + duration
-        heapq.heappush(self._free_at, completion)
+        free_at = self._free_at
+        if len(free_at) == 1:
+            # Single-port fast path (issue ports, banks, planes): no heap ops.
+            earliest_free = free_at[0]
+            start = when if when > earliest_free else earliest_free
+            completion = start + duration
+            free_at[0] = completion
+        else:
+            earliest_free = heapq.heappop(free_at)
+            start = when if when > earliest_free else earliest_free
+            completion = start + duration
+            heapq.heappush(free_at, completion)
         self.busy_cycles += duration
         self.requests_served += 1
         if completion > self.last_completion:
@@ -81,14 +93,20 @@ class Resource:
         return self._free_at[0]
 
     def utilization(self, horizon: float) -> float:
-        """Fraction of port-cycles spent busy up to ``horizon``."""
+        """Fraction of port-cycles spent busy up to ``horizon``.
+
+        Deliberately *unclamped*: a value above 1.0 at a horizon that covers
+        every completion means ports were double-booked, and that bug must be
+        visible to the invariant tests rather than silently capped away.
+        (Values above 1.0 are expected — and honest — for horizons shorter
+        than ``last_completion``, where booked work extends past the horizon.)
+        """
         if horizon <= 0:
             return 0.0
-        return min(1.0, self.busy_cycles / (horizon * self.ports))
+        return self.busy_cycles / (horizon * self.ports)
 
     def reset(self) -> None:
         self._free_at = [0.0] * self.ports
-        heapq.heapify(self._free_at)
         self.busy_cycles = 0.0
         self.requests_served = 0
         self.last_completion = 0.0
@@ -103,6 +121,8 @@ class BandwidthResource(Resource):
     Used for flash channels, the widened flash network, the HybridGPU DRAM
     buffer bus, PCIe, and DRAM/Optane channels.
     """
+
+    __slots__ = ("bytes_per_cycle", "fixed_latency", "bytes_transferred")
 
     def __init__(
         self,
@@ -145,12 +165,24 @@ class ResourcePool:
 
     Requests are routed by an index (address hash, channel id, ...); the pool
     simply owns the resources so platforms can reset and report them together.
+    :meth:`least_loaded_index` / :meth:`acquire_least_loaded` additionally
+    support *dynamic* load-balanced routing for schedulers that are free to
+    pick any member (the current platform paths all stripe by address, which
+    keeps placement deterministic and physically faithful, so these are for
+    dispatcher-style consumers and run O(log n) instead of a linear scan).
     """
 
     def __init__(self, resources: List[Resource]) -> None:
         if not resources:
             raise ValueError("a resource pool needs at least one resource")
         self.resources = resources
+        # Lazily maintained (next_free, index) heap for least_loaded_index.
+        # Entries go stale whenever a resource is acquired (directly or via
+        # the pool); staleness is detected on pop by comparing against the
+        # live next_free(), so routing stays O(log n) amortised instead of a
+        # full O(n) scan per request.  Built on first use: address-striped
+        # pools never pay for it.
+        self._free_heap: Optional[List[tuple]] = None
 
     def __len__(self) -> int:
         return len(self.resources)
@@ -164,6 +196,9 @@ class ResourcePool:
     def reset(self) -> None:
         for resource in self.resources:
             resource.reset()
+        # next_free() moved backwards for every resource, which lazy repair
+        # cannot detect; drop the heap and rebuild it on next use.
+        self._free_heap = None
 
     @property
     def busy_cycles(self) -> float:
@@ -178,12 +213,36 @@ class ResourcePool:
         return max(r.last_completion for r in self.resources)
 
     def least_loaded_index(self) -> int:
-        """Index of the resource that frees up first (for load balancing)."""
-        best_index = 0
-        best_time: Optional[float] = None
-        for index, resource in enumerate(self.resources):
-            free = resource.next_free()
-            if best_time is None or free < best_time:
-                best_time = free
-                best_index = index
-        return best_index
+        """Index of the resource that frees up first (for load balancing).
+
+        Amortised O(log n): the heap top is validated against the resource's
+        live ``next_free()`` and lazily repaired when an acquire made it
+        stale.  Ties resolve to the lowest index, matching the linear scan
+        this replaced.
+
+        Invariant: lazy repair can only see ``next_free()`` moving *forward*
+        (acquires).  Reset pool members through :meth:`ResourcePool.reset`
+        (which drops the heap), never via a member's own ``reset()`` — a
+        direct member reset moves its ``next_free()`` backwards where the
+        heap cannot observe it and later answers may name a busier resource.
+        """
+        resources = self.resources
+        heap = self._free_heap
+        if heap is None:
+            heap = self._free_heap = [
+                (resource.next_free(), index)
+                for index, resource in enumerate(resources)
+            ]
+            heapq.heapify(heap)
+        while True:
+            recorded_free, index = heap[0]
+            actual_free = resources[index].next_free()
+            if actual_free == recorded_free:
+                return index
+            heapq.heapreplace(heap, (actual_free, index))
+
+    def acquire_least_loaded(self, when: float, duration: float) -> tuple:
+        """Book the first-free resource; return ``(index, start_cycle)``."""
+        index = self.least_loaded_index()
+        start = self.resources[index].acquire(when, duration)
+        return index, start

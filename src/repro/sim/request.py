@@ -54,13 +54,12 @@ class MemoryRequest:
     physical_address: Optional[int] = None
     metadata: Dict[str, object] = field(default_factory=dict)
 
-    @property
-    def is_write(self) -> bool:
-        return self.access.is_write
-
-    @property
-    def is_read(self) -> bool:
-        return self.access.is_read
+    def __post_init__(self) -> None:
+        # Precomputed direction flags: the request path consults these many
+        # times per request, so pay the enum dereference exactly once.
+        is_write = self.access is AccessType.WRITE
+        self.is_write = is_write
+        self.is_read = not is_write
 
     def page_number(self, page_size: int = 4096) -> int:
         """Virtual page number of the request."""

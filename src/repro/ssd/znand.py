@@ -62,6 +62,41 @@ class BlockState:
         return self.next_free_page >= pages_per_block
 
 
+class PlaneResources:
+    """List-like lazy pool of per-plane occupancy :class:`Resource` objects.
+
+    The backbone has 16 x 8 x 8 = 1024 planes but a sweep cell only occupies
+    the planes its footprint stripes onto; building every Resource eagerly
+    dominated platform construction at smoke scales.  Iteration yields only
+    the planes that were actually touched (untouched planes are idle by
+    construction, so resets and busy-cycle sums are unaffected).
+    """
+
+    __slots__ = ("_count", "_resources")
+
+    def __init__(self, count: int) -> None:
+        self._count = count
+        self._resources: Dict[int, Resource] = {}
+
+    def __getitem__(self, plane_id: int) -> Resource:
+        resource = self._resources.get(plane_id)
+        if resource is None:
+            if not 0 <= plane_id < self._count:
+                raise IndexError(f"plane {plane_id} out of range (0..{self._count - 1})")
+            resource = self._resources[plane_id] = Resource(f"plane{plane_id}", ports=1)
+        return resource
+
+    def __iter__(self):
+        return iter(self._resources.values())
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def touched(self) -> int:
+        return len(self._resources)
+
+
 class ZNANDArray:
     """The flash backbone with timing, registers and wear state."""
 
@@ -77,10 +112,8 @@ class ZNANDArray:
         self.geometry = FlashGeometry(config)
         self.network = network or FlashNetwork(config)
         # One occupancy resource per plane: a plane can perform a single read,
-        # program or erase at a time.
-        self.planes = [
-            Resource(f"plane{i}", ports=1) for i in range(self.geometry.total_planes)
-        ]
+        # program or erase at a time.  Materialised on first touch.
+        self.planes = PlaneResources(self.geometry.total_planes)
         # Per-plane register pools; their *contents* are managed by the write
         # cache (repro.core.register_cache), the array only limits concurrency
         # of register <-> array transfers per plane.

@@ -20,6 +20,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.gpu.coalescer import PRECOMPUTED_SEGMENT_BYTES
 from repro.gpu.warp import Instruction, WarpTrace
 from repro.sim.request import AccessType
 from repro.workloads.trace import WorkloadSpec, WorkloadTrace
@@ -104,20 +105,6 @@ class TraceGenerator:
         offsets = (np.arange(count) * stride + salt) % max(1, footprint)
         return offsets.astype(np.int64)
 
-    def _thread_addresses(self, base_address: int, coalesced: bool) -> List[int]:
-        """Per-thread addresses of one warp memory instruction."""
-        if coalesced:
-            return [base_address + WORD_SIZE * t for t in range(32)]
-        # Irregular access: threads scatter over a handful of cache lines in
-        # nearby pages (frontier-style), producing 2-4 coalesced requests.
-        segments = int(self._rng.integers(2, 5))
-        addresses = []
-        for t in range(32):
-            segment = t % segments
-            offset = segment * LINE_SIZE + (t // segments) * WORD_SIZE
-            addresses.append(base_address + offset)
-        return addresses
-
     # -- main entry point ---------------------------------------------------------
     def generate(self) -> WorkloadTrace:
         trace = WorkloadTrace(spec=self.spec)
@@ -158,6 +145,13 @@ class TraceGenerator:
                 stream_page = int(self._rng.integers(0, max(1, footprint - 1)))
                 stream_line = 0
                 stream_pc = read_pcs[warp_counter % len(read_pcs)]
+                # Per-instruction control decisions stay on the RNG stream in
+                # their historical order; the per-thread address expansion is
+                # deferred and done for the whole warp in one numpy chunk.
+                pcs: List[int] = []
+                accesses: List[AccessType] = []
+                bases: List[int] = []
+                strides: List[int] = []
                 for _ in range(self.instructions_per_warp):
                     is_read = self._rng.random() < self.spec.read_ratio
                     sequential = self._rng.random() < self.spec.sequential_fraction
@@ -182,13 +176,53 @@ class TraceGenerator:
                         pc = write_pcs[int(self._rng.integers(0, len(write_pcs)))]
                         access = AccessType.WRITE
                         trace.page_write_counts[page] = trace.page_write_counts.get(page, 0) + 1
-                    base_address = base + page * PAGE_SIZE + line * LINE_SIZE
+                    # A coalesced access is the 1-segment case of the unified
+                    # scatter pattern (thread t touches (t % k) * LINE_SIZE +
+                    # (t // k) * WORD_SIZE past base); an irregular access
+                    # scatters over 2-4 lines (frontier-style), drawn at this
+                    # exact point of the RNG stream to stay bit-identical to
+                    # the historical per-instruction builder.
+                    segments_here = 1 if sequential else int(self._rng.integers(2, 5))
+                    pcs.append(pc)
+                    accesses.append(access)
+                    bases.append(base + page * PAGE_SIZE + line * LINE_SIZE)
+                    strides.append(segments_here)
+
+                # One numpy chunk per warp: thread t of an instruction with k
+                # segments touches base + (t % k)*LINE + (t // k)*WORD, which
+                # reduces to the contiguous base + 4t pattern when k == 1.
+                base_column = np.asarray(bases, dtype=np.int64)[:, None]
+                seg_column = np.asarray(strides, dtype=np.int64)[:, None]
+                threads = np.arange(32, dtype=np.int64)[None, :]
+                address_rows = (
+                    base_column
+                    + (threads % seg_column) * LINE_SIZE
+                    + (threads // seg_column) * WORD_SIZE
+                ).tolist()
+                compute_ops = self.spec.compute_per_memory
+                # Precomputed segments are only valid when bases are line
+                # aligned (an unaligned address_space_offset shifts the
+                # 128 B segment boundaries) and the precompute granularity is
+                # the coalescer contract; fall back to the coalescer otherwise.
+                aligned = (
+                    base % LINE_SIZE == 0
+                    and LINE_SIZE == PRECOMPUTED_SEGMENT_BYTES
+                )
+                for pc, access, base_address, segments_here, addresses in zip(
+                    pcs, accesses, bases, strides, address_rows
+                ):
                     warp.append(
                         Instruction(
                             pc=pc,
-                            compute_ops=self.spec.compute_per_memory,
-                            addresses=self._thread_addresses(base_address, sequential),
+                            compute_ops=compute_ops,
+                            addresses=addresses,
                             access=access,
+                            segments=tuple(
+                                base_address + s * LINE_SIZE
+                                for s in range(segments_here)
+                            )
+                            if aligned
+                            else None,
                         )
                     )
                 trace.warps.append(warp)

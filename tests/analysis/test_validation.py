@@ -1,5 +1,7 @@
 """Tests for the analytic-vs-measured validation helpers."""
 
+import math
+
 import pytest
 
 from repro.analysis import validation
@@ -47,6 +49,15 @@ class TestValidateAll:
         assert result.within(0.2)
         assert not result.within(0.05)
 
-    def test_zero_analytic_safe(self):
+    def test_zero_analytic_mismatch_is_not_a_perfect_match(self):
+        # A model that predicts 0 but measures 5 used to report 0.0 relative
+        # error and pass every tolerance; it must fail all of them instead.
         result = validation.ValidationResult("x", analytic=0.0, measured=5.0)
+        assert result.relative_error == math.inf
+        assert not result.within(0.5)
+        assert not result.within(1e9)
+
+    def test_zero_analytic_zero_measured_agrees(self):
+        result = validation.ValidationResult("x", analytic=0.0, measured=0.0)
         assert result.relative_error == 0.0
+        assert result.within(0.0)

@@ -79,3 +79,45 @@ class TestCoalescing:
         segments = {r.address for r in requests}
         for address in addresses:
             assert (address // 128) * 128 in segments
+
+
+class TestPrecomputedSegments:
+    """Trace generators may attach segments precomputed at 128 B granularity;
+    the unit must honour them only when its own request size matches."""
+
+    def _addresses(self, base=4096):
+        return [base + 4 * t for t in range(32)]
+
+    def test_matching_request_size_uses_precomputed_segments(self):
+        unit = CoalescingUnit(request_bytes=128)
+        requests = unit.coalesce(
+            self._addresses(), AccessType.READ, segments=(4096,)
+        )
+        assert [r.address for r in requests] == [4096]
+        assert all(r.size == 128 for r in requests)
+
+    def test_ablated_request_size_ignores_precomputed_segments(self):
+        # gpu.memory_request_bytes=256 ablation: the 128 B-granular segments
+        # baked into the trace are stale and must be recomputed live.
+        unit = CoalescingUnit(request_bytes=256)
+        addresses = [4096 + 4 * t for t in range(32)] + [4096 + 128 + 4 * t for t in range(32)]
+        stale_segments = (4096, 4096 + 128)  # 128 B precompute
+        requests = unit.coalesce(addresses, AccessType.READ, segments=stale_segments)
+        assert [r.address for r in requests] == unit.coalesce_addresses(addresses) == [4096]
+        assert all(r.size == 256 for r in requests)
+
+    def test_generated_traces_match_live_coalescing(self):
+        from repro.workloads.generators import generate_workload
+        from repro.workloads.suites import workload_by_name
+
+        trace = generate_workload(
+            workload_by_name("bfs1"), scale=0.1, seed=3, warps_per_sm=2,
+            memory_instructions_per_warp=24,
+        )
+        unit = CoalescingUnit(request_bytes=128)
+        for warp in trace.warps:
+            for instruction in warp.instructions:
+                assert instruction.segments is not None
+                assert list(instruction.segments) == unit.coalesce_addresses(
+                    instruction.addresses
+                )

@@ -116,6 +116,71 @@ class TestCorruptionRecovery:
         assert cache.get(key) is None
 
 
+class TestTmpFileGarbageCollection:
+    """An interrupted ``put`` (killed between mkstemp and os.replace) leaks a
+    ``*.tmp`` file; the cache must collect such orphans instead of hoarding
+    them forever, without racing a concurrent writer's fresh tmp file."""
+
+    @staticmethod
+    def _make_tmp(root, name, age_seconds):
+        import os
+        import time
+
+        shard = root / "ab"
+        shard.mkdir(parents=True, exist_ok=True)
+        tmp = shard / name
+        tmp.write_text("torn write")
+        stamp = time.time() - age_seconds
+        os.utime(tmp, (stamp, stamp))
+        return tmp
+
+    def test_stale_tmp_collected_on_first_access(self, tmp_path, cell):
+        orphan = self._make_tmp(tmp_path, "orphan.tmp", age_seconds=3600)
+        cache = ResultCache(tmp_path)
+        cache.get(cell.cache_key())  # any access triggers the sweep
+        assert not orphan.exists()
+        assert cache.tmp_collected == 1
+
+    def test_fresh_tmp_left_alone(self, tmp_path, cell):
+        fresh = self._make_tmp(tmp_path, "inflight.tmp", age_seconds=0)
+        cache = ResultCache(tmp_path)
+        cache.get(cell.cache_key())
+        assert fresh.exists(), "a concurrent writer's tmp file must survive"
+        assert cache.tmp_collected == 0
+
+    def test_put_triggers_collection_too(self, tmp_path, cell, result):
+        orphan = self._make_tmp(tmp_path, "orphan.tmp", age_seconds=3600)
+        cache = ResultCache(tmp_path)
+        cache.put(cell.cache_key(), result, cell.descriptor())
+        assert not orphan.exists()
+        assert cache.get(cell.cache_key()) is not None
+
+    def test_clear_removes_tmp_files_and_empty_shard_dirs(self, tmp_path, cell, result):
+        cache = ResultCache(tmp_path)
+        cache.put(cell.cache_key(), result, cell.descriptor())
+        self._make_tmp(tmp_path, "orphan.tmp", age_seconds=0)  # even fresh ones
+        assert cache.clear() == 1
+        leftovers = list(tmp_path.rglob("*"))
+        assert leftovers == [], f"clear left {leftovers} behind"
+
+    def test_interrupted_put_leaves_no_entry(self, tmp_path, cell, result, monkeypatch):
+        import os
+
+        cache = ResultCache(tmp_path)
+        key = cell.cache_key()
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(OSError):
+            cache.put(key, result, cell.descriptor())
+        monkeypatch.undo()
+        # The failed put cleaned up after itself: no entry, no tmp litter.
+        assert cache.get(key) is None
+        assert list(tmp_path.glob("*/*.tmp")) == []
+
+
 class TestRecordRoundTrip:
     def test_json_round_trip_is_lossless(self, result):
         record = json.loads(json.dumps(result.to_record()))

@@ -126,3 +126,26 @@ class TestParallelSpeedup:
         parallel_elapsed = time.perf_counter() - start
         assert serial.stats_dicts() == parallel.stats_dicts()
         assert parallel_elapsed <= 0.6 * serial_elapsed
+
+
+class TestSharedPoolRecovery:
+    def test_dead_pool_is_replaced_not_cached(self):
+        """A broken shared pool must be discarded after a failed dispatch so
+        later sweeps recover with a fresh fork instead of failing forever."""
+        from repro.runner import runner as runner_module
+        from repro.runner import shutdown_worker_pools
+
+        spec = _small_spec()
+        runner = SweepRunner(workers=2, cache=False)
+        try:
+            assert len(runner.run(spec)) == len(spec)
+            dead = runner_module._POOLS[2]
+            dead.terminate()
+            dead.join()
+            with pytest.raises(Exception):
+                runner.run(spec)
+            assert runner_module._POOLS.get(2) is not dead
+            recovered = runner.run(spec)
+            assert len(recovered) == len(spec)
+        finally:
+            shutdown_worker_pools()

@@ -54,11 +54,15 @@ class TestResource:
         assert resource.busy_cycles == 25.0
         assert resource.requests_served == 2
 
-    def test_utilization_bounded_by_one(self):
+    def test_utilization_is_unclamped_and_honest(self):
         resource = Resource("r", ports=1)
         resource.acquire(0.0, 100.0)
-        assert resource.utilization(50.0) == 1.0
+        # A horizon shorter than the booked work reports >1 honestly (the
+        # old clamp reported exactly 1.0 here, hiding double-booking bugs).
+        assert resource.utilization(50.0) == pytest.approx(2.0)
         assert resource.utilization(200.0) == pytest.approx(0.5)
+        # At any horizon covering every completion, a correct resource is <=1.
+        assert resource.utilization(resource.last_completion) <= 1.0 + 1e-9
 
     def test_zero_ports_rejected(self):
         with pytest.raises(ValueError):

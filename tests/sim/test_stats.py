@@ -112,6 +112,154 @@ class TestStatsCollector:
         assert not stats.breakdown
 
 
+def _nearest_rank(values, fraction):
+    """The exact nearest-rank percentile the streaming estimate must track."""
+    import math
+
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(math.ceil(fraction * len(ordered))) - 1)
+    return ordered[max(0, index)]
+
+
+class TestStreamingHistogram:
+    """The streaming histogram: O(1) memory, exact aggregates, bounded error."""
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0, max_value=1e6), min_size=1, max_size=300
+        ),
+        fraction=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_percentile_exact_below_reservoir_capacity(self, values, fraction):
+        histogram = Histogram("h")
+        for value in values:
+            histogram.add(value)
+        assert histogram.percentile(fraction) == _nearest_rank(values, fraction)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        fraction=st.sampled_from([0.1, 0.25, 0.5, 0.9, 0.99]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_percentile_within_tolerance_beyond_capacity(self, seed, fraction):
+        import random
+
+        rng = random.Random(seed)
+        values = [rng.random() * 1e4 for _ in range(3000)]
+        histogram = Histogram("h", reservoir_size=256)
+        for value in values:
+            histogram.add(value)
+        estimate = histogram.percentile(fraction)
+        # Rank-based tolerance: the estimate's true rank must be close to the
+        # requested one (robust to the shape of the distribution).
+        rank = sum(1 for v in values if v <= estimate) / len(values)
+        assert abs(rank - fraction) < 0.15
+
+    def test_memory_stays_bounded(self):
+        histogram = Histogram("h", reservoir_size=128)
+        for i in range(50_000):
+            histogram.add(float(i))
+        assert len(histogram.samples) <= 128
+        assert histogram.count == 50_000
+
+    def test_aggregates_exact_beyond_capacity(self):
+        histogram = Histogram("h", reservoir_size=64)
+        values = [float((7 * i) % 1000) for i in range(10_000)]
+        for value in values:
+            histogram.add(value)
+        assert histogram.count == len(values)
+        assert histogram.total == pytest.approx(sum(values))
+        assert histogram.mean == pytest.approx(sum(values) / len(values))
+        assert histogram.minimum == min(values)
+        assert histogram.maximum == max(values)
+        # The extremes stay exact even when the reservoir subsampled.
+        assert histogram.percentile(0.0) >= min(values)
+        assert histogram.percentile(1.0) <= max(values)
+
+    def test_state_roundtrip_is_exact_and_resumable(self):
+        original = Histogram("lat", reservoir_size=32)
+        for i in range(100):
+            original.add(float(i % 17))
+        restored = Histogram("lat", reservoir_size=32)
+        restored.load_state(original.state_dict())
+        assert restored.state_dict() == original.state_dict()
+        # Continuing the stream on both produces identical states: cached
+        # and fresh sweep runs cannot diverge.
+        for i in range(100):
+            original.add(float(i))
+            restored.add(float(i))
+        assert restored.state_dict() == original.state_dict()
+
+    def test_same_stream_same_name_is_deterministic(self):
+        a, b = Histogram("x", reservoir_size=16), Histogram("x", reservoir_size=16)
+        for i in range(500):
+            a.add(float(i * 3 % 97))
+            b.add(float(i * 3 % 97))
+        assert a.state_dict() == b.state_dict()
+
+    def test_merge_keeps_aggregates_exact(self):
+        a, b = Histogram("m", reservoir_size=32), Histogram("m", reservoir_size=32)
+        for i in range(200):
+            a.add(float(i))
+        for i in range(300):
+            b.add(float(1000 + i))
+        a.merge(b)
+        assert a.count == 500
+        assert a.total == pytest.approx(sum(range(200)) + sum(1000 + i for i in range(300)))
+        assert a.minimum == 0.0 and a.maximum == 1299.0
+        assert len(a.samples) <= 32
+
+    def test_merge_weights_subsampled_reservoirs(self):
+        """A 50-sample shard must not drag the percentiles of a 100k shard.
+
+        Unweighted reservoir concatenation gives the small shard
+        len(small)/len(merged) of the slots instead of its true
+        count-proportional weight, visibly skewing p50.
+        """
+        import random
+
+        big = Histogram("m", reservoir_size=256)
+        rng = random.Random(11)
+        for _ in range(100_000):
+            big.add(rng.random() * 1000.0)  # uniform 0..1000, true p50 ~500
+        small = Histogram("m", reservoir_size=256)
+        for _ in range(50):
+            small.add(1e6)
+        big.merge(small)
+        assert big.count == 100_050
+        assert big.maximum == 1e6
+        # Weighted merge keeps p50 where 100k of the 100 050 samples put it;
+        # the unweighted concat shifted it to ~595 in this construction.
+        assert 440.0 <= big.percentile(0.5) <= 560.0
+
+    def test_merge_into_empty_copies_state(self):
+        a, b = Histogram("m"), Histogram("m")
+        for value in [3.0, 1.0, 2.0]:
+            b.add(value)
+        a.merge(b)
+        assert a.state_dict() == b.state_dict()
+
+    def test_legacy_sample_list_payload_still_loads(self):
+        collector = StatsCollector.from_dict(
+            {"counters": {"x": 2.0}, "histograms": {"lat": [1.0, 3.0, 2.0]}}
+        )
+        histogram = collector.histogram("lat")
+        assert histogram.count == 3
+        assert histogram.mean == pytest.approx(2.0)
+        assert histogram.maximum == 3.0
+
+    def test_collector_roundtrip_preserves_histogram_state(self):
+        collector = StatsCollector()
+        for i in range(4000):
+            collector.sample("lat", float(i % 101))
+        clone = StatsCollector.from_dict(collector.to_dict())
+        assert clone.to_dict() == collector.to_dict()
+        assert clone.histogram("lat").percentile(0.5) == collector.histogram(
+            "lat"
+        ).percentile(0.5)
+
+
 class TestHelpers:
     def test_ratio_handles_zero(self):
         assert ratio(1.0, 0.0) == 0.0
