@@ -3,12 +3,17 @@
 Section III-B argues the conventional bus-structured flash channel cannot carry
 the accumulated Z-NAND bandwidth, motivating the widened mesh.  This bench
 compares the per-channel bandwidth and a full ZnG run on each network.
-"""
 
-from dataclasses import replace
+``znand.flash_network_type`` is pinned to ``mesh`` by the ZnG platform layer
+(see ``repro.configspace.PLATFORM_LAYERS``), so the bus variant is produced
+by swapping the constructed network objects — the one place the pin is
+deliberately bypassed; the configs themselves come from schema-validated
+overrides.
+"""
 
 from repro.config import default_config
 from repro.platforms.zng import ZnGPlatform, ZnGVariant
+from repro.runner import apply_overrides
 from repro.ssd.flash_network import FlashNetwork
 from benchmarks.harness import build_bench_mix, run_once
 
@@ -18,13 +23,13 @@ def _compare(scale):
     bus = FlashNetwork(config.znand, network_type="bus")
     mesh = FlashNetwork(config.znand, network_type="mesh")
 
-    mesh_cfg = config.copy(znand=replace(config.znand, flash_network_type="mesh"))
-    bus_cfg = config.copy(znand=replace(config.znand, flash_network_type="bus"))
+    mesh_cfg = apply_overrides(config, {"znand.flash_network_type": "mesh"})
+    bus_cfg = apply_overrides(config, {"znand.flash_network_type": "bus"})
 
     mix = build_bench_mix("betw", "back", scale, warps_per_sm=12)
     mesh_result = ZnGPlatform(ZnGVariant.FULL, mesh_cfg).run(mix.combined)
     bus_platform = ZnGPlatform(ZnGVariant.FULL, bus_cfg)
-    bus_platform.flash_network = bus  # force the narrow network
+    bus_platform.flash_network = bus  # force the narrow network past the pin
     bus_platform.array.network = bus
     bus_result = bus_platform.run(mix.combined)
     return bus, mesh, bus_result, mesh_result

@@ -3,15 +3,22 @@
 DESIGN.md calls out the read optimisation's replacement of the 6 MB SRAM L2
 with a 24 MB read-only STT-MRAM L2.  This bench isolates that choice by
 comparing ZnG-base (SRAM) against ZnG-rdopt (STT-MRAM + prefetch).
+
+The grid is the ``l2-ablation`` experiment preset, so the bench and
+``python -m repro sweep --preset l2-ablation`` run the identical experiment.
 """
 
-from benchmarks.harness import run_once, run_sweep_grid
+from repro.configspace import get_preset
+from repro.runner import run_sweep
+from benchmarks.harness import run_once
+
+PRESET = get_preset("l2-ablation")
 
 
 def _compare(scale):
-    grid = run_sweep_grid(["ZnG-base", "ZnG-rdopt"], [("betw", "back")], scale)
-    results = grid["betw-back"]
-    return results["ZnG-base"], results["ZnG-rdopt"]
+    sweep = run_sweep(PRESET.spec(scale=scale))
+    workload = PRESET.workloads[0]
+    return sweep.get("ZnG-base", workload), sweep.get("ZnG-rdopt", workload)
 
 
 def test_ablation_l2(benchmark, bench_scale):
@@ -21,9 +28,7 @@ def test_ablation_l2(benchmark, bench_scale):
     assert rdopt.l2_hit_rate >= base.l2_hit_rate
 
     print("\nAblation — L2 capacity / technology")
-    print(f"  {'variant':12s} {'L2 size':>12s} {'hit rate':>10s} {'IPC':>10s}")
+    print(f"  {'variant':12s} {'hit rate':>10s} {'IPC':>10s}")
     for name, result in (("SRAM 6MB", base), ("STT 24MB", rdopt)):
-        size = result.stats  # placeholder to keep symmetry
-        _ = size
-        print(f"  {name:12s} {'':>12s} {result.l2_hit_rate:>10.3f} {result.ipc:>10.4f}")
+        print(f"  {name:12s} {result.l2_hit_rate:>10.3f} {result.ipc:>10.4f}")
     print(f"  L2 hit-rate gain: {rdopt.l2_hit_rate - base.l2_hit_rate:+.3f}")

@@ -2,29 +2,29 @@
 
 Shows that ZnG's adaptive dynamic prefetcher is competitive with or better than
 fixed policies, without their downside (next-line over-fetches, wasting L2).
+
+The grid is the ``prefetch-policy`` experiment preset: the policy axis comes
+from the ``prefetch.policy`` ablation metadata in the config schema, run over
+a regular graph mix (betw-back) and an irregular, write-heavy one (bfs3-gaus).
 """
 
-from dataclasses import replace
+from repro.analysis.sensitivity import axis_values
+from repro.configspace import get_preset
+from repro.runner import run_sweep
+from benchmarks.harness import run_once
 
-from repro.config import default_config
-from repro.platforms.zng import ZnGPlatform, ZnGVariant
-from benchmarks.harness import build_bench_mix, run_once
+PRESET = get_preset("prefetch-policy")
+POLICIES = tuple(axis_values("prefetch.policy"))
+REGULAR_MIX, IRREGULAR_MIX = PRESET.workloads
 
 
 def _compare(scale):
-    mix = build_bench_mix("betw", "back", scale, warps_per_sm=12)
-    # An irregular, write-heavy mix where over-fetching wastes bandwidth.
-    irregular = build_bench_mix("bfs3", "gaus", scale, warps_per_sm=12)
+    sweep = run_sweep(PRESET.spec(scale=scale))
     out = {}
-    for policy in ("none", "next_line", "stride", "dynamic"):
-        config = default_config()
-        config = config.copy(prefetch=replace(config.prefetch, policy=policy))
-        out[policy] = ZnGPlatform(ZnGVariant.FULL, config).run(mix.combined)
-        config2 = default_config()
-        config2 = config2.copy(prefetch=replace(config2.prefetch, policy=policy))
-        out[("irregular", policy)] = ZnGPlatform(ZnGVariant.FULL, config2).run(
-            irregular.combined
-        )
+    for policy in POLICIES:
+        label = f"policy={policy}"
+        out[policy] = sweep.get("ZnG", REGULAR_MIX, label)
+        out[("irregular", policy)] = sweep.get("ZnG", IRREGULAR_MIX, label)
     return out
 
 
@@ -41,9 +41,9 @@ def test_ablation_prefetch_policy(benchmark, bench_scale):
     nl_flash = out[("irregular", "next_line")].flash_array_read_bandwidth_gbps
     assert dyn_flash <= nl_flash + 1e-6
 
-    print("\nAblation — read-prefetch policy (graph mix betw-back)")
+    print(f"\nAblation — read-prefetch policy (graph mix {REGULAR_MIX})")
     print(f"  {'policy':10s} {'IPC':>10s} {'L2 hit':>8s} {'pf rate':>8s}")
-    for policy in ("none", "next_line", "stride", "dynamic"):
+    for policy in POLICIES:
         result = out[policy]
         print(f"  {policy:10s} {result.ipc:>10.4f} {result.l2_hit_rate:>8.3f} "
               f"{result.extra.get('prefetch_rate', 0):>8.3f}")

@@ -2,42 +2,46 @@
 
 More registers per plane enlarge the fully-associative write cache and absorb
 more of the redundant writes (Fig. 5c), cutting flash programs.
+
+The axis values come from the ``register_cache.registers_per_plane`` ablation
+metadata in the config schema and the grid runs through the runner-backed
+sensitivity sweep, so this bench, the ``reg-sweep`` preset and
+``python -m repro config --explain`` all describe the same experiment.
 """
 
-from dataclasses import replace
+from repro.analysis import sensitivity
+from benchmarks.harness import run_once
 
-from repro.config import default_config
-from repro.platforms.zng import ZnGPlatform, ZnGVariant
-from benchmarks.harness import build_bench_mix, run_once
+#: The canonical schema axis, bounded to keep the bench quick.
+REGISTER_VALUES = tuple(
+    value for value in sensitivity.axis_values(
+        "register_cache.registers_per_plane")
+    if value <= 16
+)
 
 
 def _compare(scale):
-    mix = build_bench_mix("betw", "back", scale, warps_per_sm=12)
-    out = {}
-    for registers in (2, 4, 8, 16):
-        config = default_config()
-        config = config.copy(
-            register_cache=replace(config.register_cache, registers_per_plane=registers)
-        )
-        platform = ZnGPlatform(ZnGVariant.FULL, config)
-        result = platform.run(mix.combined)
-        out[registers] = (
+    results = sensitivity.sweep_registers_per_plane(
+        values=list(REGISTER_VALUES), scale=scale)
+    return {
+        registers: (
             result.extra.get("register_hit_rate", 0.0),
-            platform.register_cache.programs_issued,
+            result.extra.get("register_evictions", 0.0),
             result.ipc,
         )
-    return out
+        for registers, result in results.items()
+    }
 
 
 def test_ablation_register_count(benchmark, bench_scale):
     out = run_once(benchmark, _compare, bench_scale)
 
-    hit_rates = [out[r][0] for r in (2, 4, 8, 16)]
+    hit_rates = [out[r][0] for r in REGISTER_VALUES]
     # More registers never reduce the register hit rate.
     assert hit_rates == sorted(hit_rates) or max(hit_rates) - min(hit_rates) < 0.1
 
     print("\nAblation — Registers per plane")
-    print(f"  {'registers':10s} {'hit rate':>10s} {'programs':>10s} {'IPC':>10s}")
-    for registers in (2, 4, 8, 16):
-        hit, programs, ipc = out[registers]
-        print(f"  {registers:>10d} {hit:>10.3f} {programs:>10d} {ipc:>10.4f}")
+    print(f"  {'registers':10s} {'hit rate':>10s} {'evictions':>10s} {'IPC':>10s}")
+    for registers in REGISTER_VALUES:
+        hit, evictions, ipc = out[registers]
+        print(f"  {registers:>10d} {hit:>10.3f} {evictions:>10.0f} {ipc:>10.4f}")

@@ -2,22 +2,27 @@
 
 Section IV-C proposes NiF as the low-cost, high-performance register network.
 This bench measures the write-path cost and wiring cost of each interconnect.
+
+The interconnect axis comes from the ``register_cache.interconnect`` ablation
+metadata in the config schema, and each variant's config is produced with a
+schema-validated override instead of hand-rolled ``dataclasses.replace``.
+The platforms are still built directly (not through the sweep runner) because
+the wiring-cost probe reads ``register_cache.network`` internals that a
+:class:`PlatformResult` record does not carry.
 """
 
-from dataclasses import replace
-
+from repro.analysis.sensitivity import axis_values
 from repro.config import default_config
-from repro.core.register_network import build_register_network
 from repro.platforms.zng import ZnGPlatform, ZnGVariant
-from repro.ssd.flash_network import FlashNetwork
-from repro.ssd.znand import ZNANDArray
+from repro.runner import apply_overrides
 from benchmarks.harness import build_bench_mix, run_once
+
+INTERCONNECTS = tuple(axis_values("register_cache.interconnect"))
 
 
 def _run_variant(interconnect, mix, base_config):
-    config = base_config.copy(
-        register_cache=replace(base_config.register_cache, interconnect=interconnect)
-    )
+    config = apply_overrides(
+        base_config, {"register_cache.interconnect": interconnect})
     platform = ZnGPlatform(ZnGVariant.FULL, config)
     result = platform.run(mix.combined)
     return result, platform.register_cache.network.wire_cost_units()
@@ -28,7 +33,7 @@ def _compare(scale):
     mix = build_bench_mix("betw", "back", scale, warps_per_sm=12)
     return {
         name: _run_variant(name, mix, base_config)
-        for name in ("swnet", "fcnet", "nif")
+        for name in INTERCONNECTS
     }
 
 
@@ -47,6 +52,6 @@ def test_ablation_register_interconnect(benchmark, bench_scale):
 
     print("\nAblation — Register interconnect")
     print(f"  {'network':8s} {'IPC':>10s} {'wire cost':>12s}")
-    for name in ("swnet", "fcnet", "nif"):
+    for name in INTERCONNECTS:
         result, cost = results[name]
         print(f"  {name:8s} {result.ipc:>10.4f} {cost:>12.0f}")

@@ -5,6 +5,11 @@ This mirrors the core experiment of the paper (Figure 10): integrate Z-NAND
 flash as GPU memory and measure how ZnG's three optimisations recover the
 performance lost to the page-granularity mismatch and the SSD controller.
 
+The grid is the ``quickstart`` experiment preset from ``repro.configspace``
+— the same declarative experiment the CLI runs with::
+
+    python -m repro sweep --preset quickstart
+
 Run with::
 
     python examples/quickstart.py
@@ -12,31 +17,28 @@ Run with::
 
 from __future__ import annotations
 
-from repro.platforms import build_platform
-from repro.platforms.zng import PLATFORM_NAMES
-from repro.workloads import build_mix
+from repro.configspace import get_preset
+from repro.runner import build_cell_trace, run_sweep
 
 
 def main() -> None:
+    preset = get_preset("quickstart")
+    print(preset.describe())
+
     # A read-intensive graph workload (betweenness centrality) co-run with a
-    # write-intensive scientific kernel (back-propagation), exactly the kind of
-    # multi-application mix the paper stresses.
-    print("Building the betw-back multi-application workload...")
-    mix = build_mix(
-        "betw", "back", scale=0.3, seed=1, warps_per_sm=12,
-        memory_instructions_per_warp=96,
-    )
-    print(
-        f"  warps={len(mix.combined.warps)}  "
-        f"memory instructions={mix.combined.total_memory_instructions}  "
-        f"touched pages={mix.combined.touched_pages()}"
-    )
+    # write-intensive scientific kernel (back-propagation), exactly the kind
+    # of multi-application mix the paper stresses.
+    spec = preset.spec()
+    cells = spec.cells()
+    trace = build_cell_trace(cells[0])
+    print(f"\nWorkload {cells[0].workload}: warps={len(trace.warps)}  "
+          f"memory instructions={trace.total_memory_instructions}  "
+          f"touched pages={trace.touched_pages()}")
 
     print("\nRunning platforms...")
-    results = {}
-    for name in ["GDDR5"] + PLATFORM_NAMES:
-        result = build_platform(name).run(mix.combined)
-        results[name] = result
+    sweep = run_sweep(spec)
+    workload = preset.workloads[0]
+    results = {name: sweep.get(name, workload) for name in preset.platforms}
 
     reference = results["ZnG"].ipc
     print(f"\n{'platform':12s} {'IPC':>10s} {'vs ZnG':>10s} {'flash GB/s':>12s}")

@@ -1,10 +1,16 @@
 #!/usr/bin/env python
 """Domain example: ZnG design-space sensitivity sweeps.
 
-Sweeps ZnG's main design knobs one at a time — flash registers per plane, L2
-capacity, prefetch threshold and register interconnect — and prints how each
-affects IPC, L2 hit rate and register hit rate.  This is the exploration the
-paper does to justify its default configuration (Table I).
+Sweeps ZnG's main design knobs one at a time and prints how each affects IPC,
+L2 hit rate and register hit rate.  This is the exploration the paper does to
+justify its default configuration (Table I).
+
+The axes are not listed here: they are enumerated from the config schema
+(``repro.configspace.ablation_axes()`` — the ``ablation`` metadata each field
+declares), so this example automatically picks up any new sensitivity axis
+added to ``repro/config.py``.  Each axis is also available as an experiment
+preset (``python -m repro sweep --preset reg-sweep`` etc.) and documented by
+``python -m repro config --explain <path>``.
 
 Run with::
 
@@ -14,47 +20,31 @@ Run with::
 from __future__ import annotations
 
 from repro.analysis import sensitivity
+from repro.configspace import SCHEMA, ablation_axes
 
 
-def _print_numeric(title, results, extract):
-    print(f"\n{title}")
-    for key in sorted(results):
-        result = results[key]
-        ipc, extra = result.ipc, extract(result)
-        print(f"  {str(key):>6}: IPC={ipc:.4f}  {extra}")
+def _extra_metric(result) -> str:
+    parts = [f"l2_hit={result.l2_hit_rate:.3f}"]
+    if "register_hit_rate" in result.extra:
+        parts.append(f"reg_hit={result.extra['register_hit_rate']:.3f}")
+    if result.extra.get("prefetch_rate"):
+        parts.append(f"prefetch_rate={result.extra['prefetch_rate']:.3f}")
+    return "  ".join(parts)
 
 
 def main() -> None:
     scale = 0.2
+    axes = ablation_axes()
+    print(f"{len(axes)} sensitivity axes declared in the config schema:\n")
 
-    regs = sensitivity.sweep_registers_per_plane(values=[2, 4, 8, 16], scale=scale)
-    _print_numeric(
-        "Registers per plane (write-cache size):",
-        regs,
-        lambda r: f"reg_hit={r.extra.get('register_hit_rate', 0):.3f}  "
-                  f"flash_gbps={r.flash_array_read_bandwidth_gbps:.1f}",
-    )
-
-    l2 = sensitivity.sweep_l2_size(sizes_mb=[6, 12, 24, 48], scale=scale)
-    _print_numeric(
-        "L2 capacity (MB):",
-        l2,
-        lambda r: f"l2_hit={r.l2_hit_rate:.3f}",
-    )
-
-    thresh = sensitivity.sweep_prefetch_threshold(thresholds=[1, 4, 8, 12, 15], scale=scale)
-    _print_numeric(
-        "Prefetch cutoff threshold:",
-        thresh,
-        lambda r: f"prefetch_rate={r.extra.get('prefetch_rate', 0):.3f}  "
-                  f"l2_hit={r.l2_hit_rate:.3f}",
-    )
-
-    interconnect = sensitivity.sweep_interconnect(scale=scale)
-    print("\nRegister interconnect:")
-    for kind in ("swnet", "fcnet", "nif"):
-        result = interconnect[kind]
-        print(f"  {kind:6s}: IPC={result.ipc:.4f}")
+    for path in sorted(axes):
+        spec = SCHEMA.get(path)
+        print(f"{path}  [{spec.unit}] — {spec.doc}")
+        results = sensitivity.sweep_schema_axis(path, scale=scale)
+        for value, result in results.items():
+            print(f"  {str(value):>10}: IPC={result.ipc:.4f}  "
+                  f"{_extra_metric(result)}")
+        print()
 
 
 if __name__ == "__main__":

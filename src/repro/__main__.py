@@ -10,14 +10,21 @@ Usage::
     python -m repro validate            # analytic-vs-measured validations
     python -m repro run <platform> <read_app> <write_app>   # one platform x mix
     python -m repro sweep [options]     # parallel, cached experiment sweep
+    python -m repro config [options]    # inspect the configuration space
 
 Sweep options::
 
+    --preset NAME         start from a named experiment preset (fig10,
+                          reg-sweep, table1-sensitivity, ...; list them with
+                          `config --presets`); later flags override it
     --platforms A,B,...   platform names            (default: the 4 ZnG variants)
     --workloads W,...     workload tokens: app, read-write mix, or a group
                           token (mixes/graph/scientific)
                           (default: betw-back,bfs1-gaus,pr-gaus)
     --set path=value,...  labelled config overrides may repeat: --set label:a.b=1,c.d=2
+                          values are coerced/validated against the schema
+    --config-file FILE    JSON {path: value} overrides applied to every cell
+                          (a base layer below presets and --set axes)
     --workers N           worker processes          (default: 4)
     --scale S             trace scale               (default: 0.2)
     --seed N              sweep seed                (default: 1)
@@ -26,6 +33,14 @@ Sweep options::
     --no-cache            disable the result cache
     --perf-report         print cells/sec plus the trace-build / simulate /
                           cache time split and write it to BENCH_sweep.json
+
+Config options::
+
+    --list-paths          every dotted override path with type/default/unit
+    --explain PATH        full field card: doc, bounds, axis, platform pins
+    --diff A B            resolved-config diff between two platforms
+    --presets             list the named experiment presets
+    --golden              schema-drift golden lines (tests/data regeneration)
 """
 
 from __future__ import annotations
@@ -103,21 +118,15 @@ def _cmd_run(args: List[str]) -> int:
     return 0
 
 
-def _parse_value(text: str):
-    """Parse an override value: int, float, bool or bare string."""
-    lowered = text.lower()
-    if lowered in ("true", "false"):
-        return lowered == "true"
-    for kind in (int, float):
-        try:
-            return kind(text)
-        except ValueError:
-            continue
-    return text
-
-
 def _parse_override_flag(argument: str):
-    """``label:a.b=1,c.d=2`` or ``a.b=1`` -> (label, {path: value})."""
+    """``label:a.b=1,c.d=2`` or ``a.b=1`` -> (label, {path: value}).
+
+    Values are coerced and validated against the config schema, so a typo'd
+    path, a string where a count belongs, or an out-of-range value errors
+    here instead of silently sweeping garbage.
+    """
+    from repro.configspace import SCHEMA
+
     label, _, body = argument.partition(":")
     if not body:
         label, body = "", label
@@ -126,67 +135,106 @@ def _parse_override_flag(argument: str):
         path, _, raw = pair.partition("=")
         if not raw:
             raise ValueError(f"malformed override {pair!r} (expected path=value)")
-        overrides[path.strip()] = _parse_value(raw.strip())
+        path = path.strip()
+        overrides[path] = SCHEMA.coerce(path, raw.strip())
     return label or "+".join(f"{p}={v}" for p, v in overrides.items()), overrides
 
 
+def _load_config_file(path: str):
+    """Read a JSON ``{dotted.path: value}`` override file (a 'file' layer)."""
+    import json
+
+    from repro.configspace import SCHEMA
+
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ValueError(f"config file {path!r} must hold a JSON object "
+                         f"of {{dotted.path: value}} overrides")
+    return {str(p): SCHEMA.coerce(str(p), v) for p, v in payload.items()}
+
+
 def _cmd_sweep(args: List[str]) -> int:
+    from repro.configspace import get_preset
     from repro.runner import SweepRunner, SweepSpec
 
+    # Defaults; a --preset replaces them wholesale, later flags override.
     platforms = ["ZnG-base", "ZnG-rdopt", "ZnG-wropt", "ZnG"]
     workloads = ["betw-back", "bfs1-gaus", "pr-gaus"]
     override_axis = {}
+    file_overrides = {}
     workers, scale, seed, warps = 4, 0.2, 1, 8
+    memory_instructions = 64
     cache: object = True  # memoize in the default cache location
     perf_report = False
     index = 0
-    while index < len(args):
-        flag = args[index]
-        if flag == "--no-cache":
-            cache = False
-            index += 1
-            continue
-        if flag == "--perf-report":
-            perf_report = True
-            index += 1
-            continue
-        if flag.startswith("--") and index + 1 >= len(args):
-            print(f"missing value for {flag}")
-            return 2
-        if flag == "--platforms":
-            platforms = [p for p in args[index + 1].split(",") if p]
-        elif flag == "--workloads":
-            workloads = [w for w in args[index + 1].split(",") if w]
-        elif flag == "--set":
-            try:
+    try:
+        while index < len(args):
+            flag = args[index]
+            if flag == "--no-cache":
+                cache = False
+                index += 1
+                continue
+            if flag == "--perf-report":
+                perf_report = True
+                index += 1
+                continue
+            if flag.startswith("--") and index + 1 >= len(args):
+                print(f"missing value for {flag}")
+                return 2
+            if flag == "--preset":
+                preset = get_preset(args[index + 1])
+                platforms = list(preset.platforms)
+                workloads = list(preset.workloads)
+                override_axis = preset.override_axis() or {}
+                scale = preset.scale
+                seed = preset.seed
+                warps = preset.warps_per_sm
+                memory_instructions = preset.memory_instructions_per_warp
+            elif flag == "--platforms":
+                platforms = [p for p in args[index + 1].split(",") if p]
+            elif flag == "--workloads":
+                workloads = [w for w in args[index + 1].split(",") if w]
+            elif flag == "--set":
                 label, overrides = _parse_override_flag(args[index + 1])
-            except ValueError as error:
-                print(error)
-                return 2
-            override_axis[label] = overrides
-        elif flag in ("--workers", "--scale", "--seed", "--warps"):
-            kind = float if flag == "--scale" else int
-            try:
-                value = kind(args[index + 1])
-            except ValueError:
-                print(f"{flag} expects a number, got {args[index + 1]!r}")
-                return 2
-            if flag == "--workers":
-                workers = value
-            elif flag == "--scale":
-                scale = value
-            elif flag == "--seed":
-                seed = value
+                override_axis[label] = overrides
+            elif flag == "--config-file":
+                file_overrides.update(_load_config_file(args[index + 1]))
+            elif flag in ("--workers", "--scale", "--seed", "--warps"):
+                kind = float if flag == "--scale" else int
+                try:
+                    value = kind(args[index + 1])
+                except ValueError:
+                    print(f"{flag} expects a number, got {args[index + 1]!r}")
+                    return 2
+                if flag == "--workers":
+                    workers = value
+                elif flag == "--scale":
+                    scale = value
+                elif flag == "--seed":
+                    seed = value
+                else:
+                    warps = value
+            elif flag == "--cache-dir":
+                cache = args[index + 1]
             else:
-                warps = value
-        elif flag == "--cache-dir":
-            cache = args[index + 1]
-        else:
-            print(f"unknown sweep option {flag!r}")
-            return 2
-        index += 2
+                print(f"unknown sweep option {flag!r}")
+                return 2
+            index += 2
+    except OSError as error:
+        print(error)
+        return 2
+    except (ValueError, KeyError) as error:
+        print(error.args[0] if error.args else error)
+        return 2
 
     try:
+        base_config = None
+        if file_overrides:
+            from repro.config import default_config
+            from repro.runner import apply_overrides
+
+            base_config = apply_overrides(default_config(), file_overrides)
         spec = SweepSpec.create(
             platforms=platforms,
             workloads=workloads,
@@ -194,11 +242,13 @@ def _cmd_sweep(args: List[str]) -> int:
             scale=scale,
             seed=seed,
             warps_per_sm=warps,
+            memory_instructions_per_warp=memory_instructions,
+            base_config=base_config,
         )
         runner = SweepRunner(workers=workers, cache=cache)
         result = runner.run(spec)
     except (ValueError, KeyError) as error:
-        # Unknown platform/workload or a bad override path: report cleanly.
+        # Unknown platform/workload/preset or a bad override: report cleanly.
         message = error.args[0] if error.args else error
         print(message)
         return 2
@@ -248,9 +298,104 @@ def _cmd_sweep(args: List[str]) -> int:
     return 0
 
 
+def _cmd_config(args: List[str]) -> int:
+    """Inspect the configuration space: paths, field cards, diffs, presets."""
+    from repro.configspace import (
+        EXPERIMENT_PRESETS,
+        PLATFORM_LAYERS,
+        SCHEMA,
+        ConfigPathError,
+        FieldRef,
+        config_fingerprint,
+        resolve_platform_config,
+    )
+
+    if not args or args[0] in ("-h", "--help"):
+        print("usage: python -m repro config "
+              "(--list-paths | --explain PATH | --diff A B | --presets | --golden)")
+        return 0 if args else 2
+
+    flag = args[0]
+    if flag == "--list-paths":
+        print(f"{'path':44s} {'type':6s} {'default':>14s} {'unit':12s}")
+        for spec in SCHEMA.fields():
+            print(f"{spec.path:44s} {spec.type.__name__:6s} "
+                  f"{str(spec.default):>14s} {spec.unit:12s}")
+        print(f"{len(SCHEMA)} overridable paths")
+        return 0
+
+    if flag == "--golden":
+        for line in SCHEMA.golden_lines():
+            print(line)
+        return 0
+
+    if flag == "--explain":
+        if len(args) < 2:
+            print("usage: python -m repro config --explain <dotted.path>")
+            return 2
+        path = args[1]
+        try:
+            spec = SCHEMA.get(path)
+        except ConfigPathError as error:
+            print(error.args[0])
+            return 2
+        print(spec.describe())
+        # Which platform layers touch this path (pins win over --set).
+        pinned_by = []
+        for platform, layer in sorted(PLATFORM_LAYERS.items()):
+            for layer_path, value in layer.overrides:
+                if layer_path == path:
+                    source = (f"copied from {value.path}"
+                              if isinstance(value, FieldRef) else repr(value))
+                    kind = "pins" if layer.pinned else "sets"
+                    pinned_by.append(f"{platform} {kind} {source}")
+        if pinned_by:
+            print("platforms: " + "; ".join(pinned_by))
+        return 0
+
+    if flag == "--diff":
+        if len(args) < 3:
+            print("usage: python -m repro config --diff <platformA> <platformB>")
+            return 2
+        name_a, name_b = args[1], args[2]
+        from repro.platforms.zng import PLATFORM_NAMES
+
+        known = ["GDDR5"] + PLATFORM_NAMES
+        for name in (name_a, name_b):
+            if name not in known:
+                print(f"unknown platform {name!r}; known: {known}")
+                return 2
+        resolved_a = resolve_platform_config(name_a)
+        resolved_b = resolve_platform_config(name_b)
+        differences = SCHEMA.diff(resolved_a.config, resolved_b.config)
+        print(f"{'path':40s} {name_a:>14s} {name_b:>14s}")
+        for path, (left, right) in sorted(differences.items()):
+            print(f"{path:40s} {str(left):>14s} {str(right):>14s}")
+            print(f"  {resolved_a.explain(path)}")
+            print(f"  {resolved_b.explain(path)}")
+        if not differences:
+            print("(identical resolved configurations)")
+        print(f"fingerprints: {name_a}={config_fingerprint(resolved_a.config)[:12]} "
+              f"{name_b}={config_fingerprint(resolved_b.config)[:12]}")
+        return 0
+
+    if flag == "--presets":
+        for name in sorted(EXPERIMENT_PRESETS):
+            preset = EXPERIMENT_PRESETS[name]
+            cells = (len(preset.platforms) * len(preset.workloads)
+                     * max(1, len(preset.overrides)))
+            print(f"{name:20s} {cells:>5d} cells  {preset.description}")
+        print("run one with: python -m repro sweep --preset <name>")
+        return 0
+
+    print(f"unknown config option {flag!r}")
+    return 2
+
+
 COMMANDS = {
     "report": _cmd_report,
     "sweep": _cmd_sweep,
+    "config": _cmd_config,
     "fig10": _cmd_fig10,
     "fig11": _cmd_fig11,
     "table1": _cmd_table1,

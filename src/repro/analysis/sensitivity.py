@@ -5,6 +5,12 @@ one configuration parameter, hold the rest at Table I defaults, and report the
 resulting IPC / bandwidth / hit-rate.  The ablation benches use these helpers,
 and an example plots them.
 
+The axes themselves are not hard-coded here: each named sweep reads its
+canonical values from the ``ablation`` metadata the config schema
+(:mod:`repro.configspace`) carries per field, so the sensitivity surface and
+the schema can never drift apart.  :func:`axes` enumerates every declared
+axis; :func:`sweep_schema_axis` sweeps one by dotted path.
+
 Each named sweep is one labelled override axis handed to the
 :mod:`repro.runner` subsystem, so it parallelises across a worker pool and
 memoizes finished points in the on-disk result cache like any other sweep.
@@ -12,20 +18,40 @@ memoizes finished points in the on-disk result cache like any other sweep.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import PlatformConfig, default_config
+from repro.configspace import SCHEMA
+from repro.configspace.presets import (
+    SENSITIVITY_MEM_INSTS,
+    SENSITIVITY_WARPS_PER_SM,
+    SENSITIVITY_WORKLOAD,
+)
 from repro.platforms.base import PlatformResult
 from repro.platforms.zng import ZnGPlatform, ZnGVariant
 from repro.runner import SweepRunner, SweepSpec
 from repro.workloads.multiapp import build_mix
 
 #: The mix and trace knobs every knob sweep runs with (kept identical across
-#: axes so points are comparable and cache entries are shared).
-SWEEP_WORKLOAD = "betw-back"
+#: axes so points are comparable and cache entries are shared).  Shared with
+#: the sensitivity presets in :mod:`repro.configspace.presets`.
+SWEEP_WORKLOAD = SENSITIVITY_WORKLOAD
 SWEEP_SEED = 1
-SWEEP_WARPS_PER_SM = 12
-SWEEP_MEM_INSTS = 96
+SWEEP_WARPS_PER_SM = SENSITIVITY_WARPS_PER_SM
+SWEEP_MEM_INSTS = SENSITIVITY_MEM_INSTS
+
+
+def axes() -> Dict[str, Tuple[object, ...]]:
+    """Every declared sensitivity axis: ``{dotted path: canonical values}``."""
+    return SCHEMA.ablation_axes()
+
+
+def axis_values(path: str) -> List[object]:
+    """The canonical ablation values of one schema axis."""
+    values = SCHEMA.get(path).ablation
+    if values is None:
+        raise KeyError(f"{path} declares no canonical ablation values")
+    return list(values)
 
 
 def sweep_axis(
@@ -59,6 +85,23 @@ def sweep_axis(
     return {value: out[value] for value in values}
 
 
+def sweep_schema_axis(
+    path: str,
+    values: Optional[Sequence[object]] = None,
+    scale: float = 0.25,
+    workers: int = 1,
+    cache: object = False,
+) -> Dict[object, PlatformResult]:
+    """Sweep one declared schema axis (values default to its ablation set)."""
+    return sweep_axis(
+        list(values) if values is not None else axis_values(path),
+        path,
+        scale=scale,
+        workers=workers,
+        cache=cache,
+    )
+
+
 def sweep_registers_per_plane(
     values: Optional[List[int]] = None,
     scale: float = 0.25,
@@ -66,9 +109,9 @@ def sweep_registers_per_plane(
     cache: object = False,
 ) -> Dict[int, PlatformResult]:
     """Sweep the number of flash registers per plane (write-cache size)."""
-    return sweep_axis(
-        values or [2, 4, 8, 16, 32],
+    return sweep_schema_axis(
         "register_cache.registers_per_plane",
+        values=values,
         scale=scale,
         workers=workers,
         cache=cache,
@@ -81,11 +124,13 @@ def sweep_l2_size(
     workers: int = 1,
     cache: object = False,
 ) -> Dict[int, PlatformResult]:
-    """Sweep the STT-MRAM L2 capacity."""
-    sizes_mb = sizes_mb or [6, 12, 24, 48]
-    by_bytes = sweep_axis(
-        [size_mb * 1024 * 1024 for size_mb in sizes_mb],
+    """Sweep the STT-MRAM L2 capacity (axis values are stored in bytes)."""
+    if sizes_mb is None:
+        sizes_mb = [size // (1024 * 1024)
+                    for size in axis_values("stt_mram.size_bytes")]
+    by_bytes = sweep_schema_axis(
         "stt_mram.size_bytes",
+        values=[size_mb * 1024 * 1024 for size_mb in sizes_mb],
         scale=scale,
         workers=workers,
         cache=cache,
@@ -100,9 +145,9 @@ def sweep_prefetch_threshold(
     cache: object = False,
 ) -> Dict[int, PlatformResult]:
     """Sweep the predictor cutoff threshold for issuing a prefetch."""
-    return sweep_axis(
-        thresholds or [1, 4, 8, 12, 15],
+    return sweep_schema_axis(
         "prefetch.prefetch_threshold",
+        values=thresholds,
         scale=scale,
         workers=workers,
         cache=cache,
@@ -116,9 +161,9 @@ def sweep_interconnect(
     cache: object = False,
 ) -> Dict[str, PlatformResult]:
     """Compare the register interconnects (swnet / fcnet / nif)."""
-    return sweep_axis(
-        kinds or ["swnet", "fcnet", "nif"],
+    return sweep_schema_axis(
         "register_cache.interconnect",
+        values=kinds,
         scale=scale,
         workers=workers,
         cache=cache,

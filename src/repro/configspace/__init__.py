@@ -1,0 +1,90 @@
+"""``repro.configspace`` — the typed, layered configuration subsystem.
+
+One source of truth for the entire experiment space:
+
+* **Schema** (:mod:`.schema`): every dotted config path, auto-derived from
+  the :mod:`repro.config` dataclasses, typed and documented (units + Table I
+  provenance), with value coercion, bounds/choice validation and cross-field
+  invariants.  ``python -m repro config --list-paths / --explain`` front it.
+* **Layers** (:mod:`.layers`): composition with provenance — defaults ->
+  platform preset -> ablation axis -> file/CLI overrides — where every
+  resolved value knows which layer set it.  The ZnG variants' config deltas
+  are declarative pinned layers, not constructor branching.
+* **Fingerprints** (:mod:`.fingerprint`): strict canonical content hashes
+  for configs and sweep-cell descriptors (result-cache schema v3; the
+  encoder raises on un-encodable values instead of guessing).
+* **Presets** (:mod:`.presets`): the named experiment registry (``fig10``,
+  ``reg-sweep``, ``table1-sensitivity``, ...) behind
+  ``python -m repro sweep --preset``.
+"""
+
+from repro.configspace.fingerprint import (
+    CanonicalEncodingError,
+    canonical_json,
+    canonical_payload,
+    config_fingerprint,
+    fingerprint,
+)
+from repro.configspace.layers import (
+    DEFAULTS_LAYER,
+    PLATFORM_LAYERS,
+    ConfigLayer,
+    FieldRef,
+    ResolvedConfig,
+    ResolvedValue,
+    platform_layer,
+    resolve,
+    resolve_platform_config,
+)
+from repro.configspace.presets import (
+    EXPERIMENT_PRESETS,
+    ExperimentPreset,
+    axis_overrides,
+    get_preset,
+    preset_names,
+)
+from repro.configspace.schema import (
+    INVARIANTS,
+    SCHEMA,
+    ConfigPathError,
+    ConfigSchema,
+    ConfigValueError,
+    FieldSpec,
+    Invariant,
+)
+
+
+def ablation_axes():
+    """``{path: canonical values}`` of every declared sensitivity axis."""
+    return SCHEMA.ablation_axes()
+
+
+__all__ = [
+    "CanonicalEncodingError",
+    "ConfigLayer",
+    "ConfigPathError",
+    "ConfigSchema",
+    "ConfigValueError",
+    "DEFAULTS_LAYER",
+    "EXPERIMENT_PRESETS",
+    "ExperimentPreset",
+    "FieldRef",
+    "FieldSpec",
+    "INVARIANTS",
+    "Invariant",
+    "PLATFORM_LAYERS",
+    "ResolvedConfig",
+    "ResolvedValue",
+    "SCHEMA",
+    "ablation_axes",
+    "axis_overrides",
+    "canonical_json",
+    "canonical_payload",
+    "config_fingerprint",
+    "fingerprint",
+    "get_preset",
+    "platform_layer",
+    "preset_names",
+    "resolve",
+    "resolve_platform_config",
+]

@@ -1,0 +1,229 @@
+"""Layered config composition with per-value provenance.
+
+A resolved configuration is built from an ordered stack of
+:class:`ConfigLayer` objects applied on top of the Table I defaults::
+
+    defaults -> platform preset -> named ablation axis -> file/CLI overrides
+
+Each layer is a plain mapping of dotted paths to values, so the whole stack
+is declarative, hashable and printable.  Resolution records, for every path a
+layer touched, **which layer set the winning value** — that provenance is
+what ``python -m repro config --explain/--diff`` reports.
+
+Platform presets
+----------------
+The ZnG variants are identity-defining *pinned* layers: their deltas (mesh
+flash network; the write-optimised register count) are applied after every
+other layer and win over direct overrides, exactly as the pre-refactor
+platform constructors clobbered those fields.  A pinned value may be a
+:class:`FieldRef`, resolved against the composed config at pin time — this is
+how ``ZnG``/``ZnG-wropt`` copy ``register_cache.registers_per_plane`` (the
+write-cache sizing knob, including any ablation override of it) into
+``znand.registers_per_plane``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.config import PlatformConfig, default_config
+from repro.configspace.schema import SCHEMA, ConfigSchema
+
+#: Name of the implicit bottom layer (the Table I defaults / base config).
+DEFAULTS_LAYER = "defaults"
+
+
+@dataclass(frozen=True)
+class FieldRef:
+    """A layer value resolved from another path of the composed config."""
+
+    path: str
+
+    def __repr__(self) -> str:  # readable in provenance listings
+        return f"<- {self.path}"
+
+
+@dataclass(frozen=True)
+class ConfigLayer:
+    """One named layer of dotted-path overrides.
+
+    ``kind`` classifies where the layer came from (``platform``, ``axis``,
+    ``file``, ``cli``); ``pinned`` layers apply after all unpinned ones and
+    override them (platform identity deltas).
+    """
+
+    name: str
+    kind: str
+    overrides: Tuple[Tuple[str, object], ...] = ()
+    pinned: bool = False
+
+    @classmethod
+    def create(
+        cls,
+        name: str,
+        kind: str,
+        overrides: Optional[Mapping[str, object]] = None,
+        pinned: bool = False,
+    ) -> "ConfigLayer":
+        return cls(
+            name=name,
+            kind=kind,
+            overrides=tuple(sorted((overrides or {}).items())),
+            pinned=pinned,
+        )
+
+    def as_mapping(self) -> Dict[str, object]:
+        return dict(self.overrides)
+
+    def __bool__(self) -> bool:
+        return bool(self.overrides)
+
+
+@dataclass(frozen=True)
+class ResolvedValue:
+    """Provenance of one resolved path: the value and the layer that set it."""
+
+    value: object
+    layer: str
+    kind: str
+    #: Layers whose value for this path was overridden by a later (or pinned)
+    #: layer — useful to see that a ``--set`` was clobbered by a platform pin.
+    shadowed: Tuple[str, ...] = ()
+
+
+@dataclass
+class ResolvedConfig:
+    """The composed :class:`PlatformConfig` plus per-path provenance."""
+
+    config: PlatformConfig
+    layers: Tuple[ConfigLayer, ...]
+    provenance: Dict[str, ResolvedValue] = field(default_factory=dict)
+
+    def origin(self, path: str) -> str:
+        """Name of the layer that set ``path`` (``defaults`` if untouched)."""
+        entry = self.provenance.get(path)
+        return entry.layer if entry is not None else DEFAULTS_LAYER
+
+    def value(self, path: str) -> object:
+        return SCHEMA.read(self.config, path)
+
+    def explain(self, path: str) -> str:
+        """One line: resolved value, owning layer, and any shadowed layers."""
+        entry = self.provenance.get(path)
+        value = self.value(path)
+        if entry is None:
+            return f"{path} = {value!r}  [{DEFAULTS_LAYER}]"
+        text = f"{path} = {value!r}  [{entry.layer}]"
+        if entry.shadowed:
+            text += f"  (shadows: {', '.join(entry.shadowed)})"
+        return text
+
+
+def resolve(
+    layers: Sequence[ConfigLayer],
+    base: Optional[PlatformConfig] = None,
+    validate: bool = True,
+    schema: ConfigSchema = SCHEMA,
+) -> ResolvedConfig:
+    """Compose ``layers`` over ``base`` (Table I defaults when omitted).
+
+    Unpinned layers apply in the given order (later wins); pinned layers
+    apply after all of them, with :class:`FieldRef` values read from the
+    config as composed so far.  With ``validate`` every concrete value is
+    coerced/bounds-checked and the cross-field invariants run on the result.
+    """
+    config = base if base is not None else default_config()
+    provenance: Dict[str, ResolvedValue] = {}
+
+    def apply_layer(layer: ConfigLayer, current: PlatformConfig) -> PlatformConfig:
+        for path, value in layer.overrides:
+            if isinstance(value, FieldRef):
+                value = schema.read(current, value.path)
+            elif validate:
+                value = schema.coerce(path, value)
+            else:
+                schema.get(path)
+            previous = provenance.get(path)
+            shadowed: Tuple[str, ...] = ()
+            if previous is not None and previous.layer != layer.name:
+                shadowed = previous.shadowed + (previous.layer,)
+            provenance[path] = ResolvedValue(
+                value=value, layer=layer.name, kind=layer.kind,
+                shadowed=shadowed,
+            )
+            current = schema.apply(current, {path: value}, validate=False)
+        return current
+
+    for layer in layers:
+        if not layer.pinned:
+            config = apply_layer(layer, config)
+    for layer in layers:
+        if layer.pinned:
+            config = apply_layer(layer, config)
+    if validate:
+        schema.check_invariants(config)
+    return ResolvedConfig(config=config, layers=tuple(layers),
+                          provenance=provenance)
+
+
+# ---------------------------------------------------------------------------
+# Platform preset layers
+# ---------------------------------------------------------------------------
+
+#: Declarative config deltas of every evaluation platform.  The four
+#: baselines take the Table I defaults unchanged; the ZnG variants pin the
+#: mesh flash network (Section III-B) and — for the write-optimised variants
+#: — the enlarged register pool, replacing the constructor branching the
+#: platforms used to hand-roll.
+PLATFORM_LAYERS: Dict[str, ConfigLayer] = {
+    "GDDR5": ConfigLayer.create("platform:GDDR5", "platform"),
+    "Hetero": ConfigLayer.create("platform:Hetero", "platform"),
+    "HybridGPU": ConfigLayer.create("platform:HybridGPU", "platform"),
+    "Optane": ConfigLayer.create("platform:Optane", "platform"),
+    "ZnG-base": ConfigLayer.create(
+        "platform:ZnG-base", "platform",
+        {"znand.flash_network_type": "mesh"}, pinned=True),
+    "ZnG-rdopt": ConfigLayer.create(
+        "platform:ZnG-rdopt", "platform",
+        {"znand.flash_network_type": "mesh"}, pinned=True),
+    "ZnG-wropt": ConfigLayer.create(
+        "platform:ZnG-wropt", "platform",
+        {"znand.flash_network_type": "mesh",
+         "znand.registers_per_plane":
+             FieldRef("register_cache.registers_per_plane")}, pinned=True),
+    "ZnG": ConfigLayer.create(
+        "platform:ZnG", "platform",
+        {"znand.flash_network_type": "mesh",
+         "znand.registers_per_plane":
+             FieldRef("register_cache.registers_per_plane")}, pinned=True),
+}
+
+#: Fallback for platform names without registered deltas (test doubles,
+#: micro-bench platforms): an empty, unpinned layer.
+_EMPTY_LAYER = ConfigLayer.create("platform:unregistered", "platform")
+
+
+def platform_layer(name: str) -> ConfigLayer:
+    """The declarative config delta of a platform (empty if unregistered)."""
+    return PLATFORM_LAYERS.get(name, _EMPTY_LAYER)
+
+
+def resolve_platform_config(
+    name: str,
+    base: Optional[PlatformConfig] = None,
+    extra_layers: Sequence[ConfigLayer] = (),
+    validate: bool = False,
+) -> ResolvedConfig:
+    """Resolve the config a platform actually runs with.
+
+    ``extra_layers`` (axis / file / CLI) slot between the base config and the
+    platform's pinned deltas.  Validation is off by default because this is
+    also the hot constructor path replaying already-validated configs; the
+    CLI inspection commands turn it on.
+    """
+    return resolve(
+        list(extra_layers) + [platform_layer(name)],
+        base=base,
+        validate=validate,
+    )

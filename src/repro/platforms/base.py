@@ -13,7 +13,7 @@ from abc import ABC, abstractmethod
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Mapping, Optional, Sequence
 
-from repro.config import GPU_FREQ_HZ, PlatformConfig, default_config
+from repro.config import GPU_FREQ_HZ, PlatformConfig
 from repro.gpu.interconnect import Interconnect
 from repro.gpu.l2cache import SharedL2Cache
 from repro.gpu.mmu import MMU
@@ -206,7 +206,17 @@ class GPUSSDPlatform(ABC):
         return cls.build(name, config).run(workload)
 
     def __init__(self, config: Optional[PlatformConfig] = None) -> None:
-        self.config = config or default_config()
+        # Resolve the platform's declarative config deltas (its layer in
+        # repro.configspace) over the caller's base config.  Baseline
+        # platforms have empty layers; the ZnG variants pin the mesh flash
+        # network and (for write-optimised variants) the register pool —
+        # identically to the constructor branching this replaces.  The
+        # resolution is kept so callers can ask where any value came from.
+        from repro.configspace.layers import resolve_platform_config
+
+        resolved = resolve_platform_config(self.name, config)
+        self.config = resolved.config
+        self.config_resolution = resolved
         self.gpu = GPUCore(self.config.gpu)
         self.mmu = MMU(self.config.gpu)
         self.l2 = self._build_l2()

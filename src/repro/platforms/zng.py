@@ -18,7 +18,7 @@ from dataclasses import replace
 from enum import Enum
 from typing import Dict, Optional, Type
 
-from repro.config import PlatformConfig, default_config
+from repro.config import PlatformConfig
 from repro.core.helper_gc import HelperThreadGC
 from repro.core.register_cache import FlashRegisterCache
 from repro.core.register_network import build_register_network
@@ -60,19 +60,11 @@ class ZnGPlatform(GPUSSDPlatform):
     ) -> None:
         self.variant = variant
         self.name = variant.value
-        config = config or default_config()
-        # All ZnG variants use the widened mesh flash network (Section III-B);
-        # the write optimisation additionally raises the register count.
-        registers = (
-            config.register_cache.registers_per_plane
-            if variant.has_write_optimization
-            else config.znand.registers_per_plane
-        )
-        config = config.copy(
-            znand=replace(
-                config.znand, flash_network_type="mesh", registers_per_plane=registers
-            )
-        )
+        # The variant's config deltas — the mesh flash network (Section
+        # III-B) and, for write-optimised variants, the enlarged register
+        # pool — live as a declarative pinned layer in
+        # ``repro.configspace.PLATFORM_LAYERS``; the base constructor
+        # resolves it over ``config`` by platform name.
         super().__init__(config)
 
         znand = self.config.znand

@@ -28,7 +28,12 @@ from repro.platforms.base import PlatformResult
 
 #: Bump when the record schema changes; older entries become misses.
 #: v2: histograms serialise as streaming state dictionaries, not sample lists.
-CACHE_VERSION = 2
+#: v3: cell descriptors are hashed with the strict canonical encoder
+#:     (repro.configspace.fingerprint) instead of json.dumps(default=str),
+#:     whose lossy stringification could alias distinct configs; override
+#:     values are schema-coerced before hashing.  Old entries are recomputed,
+#:     never trusted.
+CACHE_VERSION = 3
 
 #: A ``*.tmp`` file older than this is an orphan from an interrupted ``put``
 #: (killed between ``mkstemp`` and ``os.replace``) and safe to delete; younger

@@ -15,11 +15,12 @@ canonical plain-data descriptor used for three things at once:
 from __future__ import annotations
 
 import hashlib
-import json
-from dataclasses import asdict, dataclass, field, fields, is_dataclass, replace
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.config import PlatformConfig, default_config
+from repro.configspace.fingerprint import canonical_json
+from repro.configspace.schema import SCHEMA
 from repro.workloads.suites import parse_workload_token, resolve_workload_tokens
 
 #: Override mapping: dotted config path -> value, e.g.
@@ -27,29 +28,21 @@ from repro.workloads.suites import parse_workload_token, resolve_workload_tokens
 OverrideMapping = Mapping[str, object]
 
 
-def apply_overrides(config: PlatformConfig, overrides: OverrideMapping) -> PlatformConfig:
+def apply_overrides(
+    config: PlatformConfig,
+    overrides: OverrideMapping,
+    validate: bool = True,
+) -> PlatformConfig:
     """Return ``config`` with each dotted-path override applied.
 
-    Paths name nested dataclass fields (``znand.channels``); unknown fields
-    raise immediately so a typo cannot silently sweep the default value.
+    Resolution is delegated to the :mod:`repro.configspace` schema: unknown
+    paths and derived ``@property`` paths raise immediately with a precise
+    message, values are coerced to the field's declared type (CLI strings
+    included) and bounds-checked, and the cross-field invariants run on the
+    result.  ``validate=False`` replays already-validated typed values
+    (path resolution stays strict).
     """
-    for path, value in overrides.items():
-        config = _replace_path(config, path, path.split("."), value)
-    return config
-
-
-def _replace_path(obj, full_path: str, parts: Sequence[str], value):
-    if not is_dataclass(obj):
-        raise KeyError(f"override path {full_path!r}: {type(obj).__name__} is not a config node")
-    names = {f.name for f in fields(obj)}
-    if parts[0] not in names:
-        raise KeyError(
-            f"override path {full_path!r}: {type(obj).__name__} has no field {parts[0]!r}"
-        )
-    if len(parts) == 1:
-        return replace(obj, **{parts[0]: value})
-    child = _replace_path(getattr(obj, parts[0]), full_path, parts[1:], value)
-    return replace(obj, **{parts[0]: child})
+    return SCHEMA.apply(config, overrides, validate=validate)
 
 
 @dataclass(frozen=True)
@@ -104,14 +97,21 @@ class SweepSpec:
 
         ``overrides`` may be omitted (one default point), a single mapping of
         dotted paths, a mapping of ``label -> {path: value}``, or a sequence
-        of :class:`OverrideSet`.  ``workloads`` accepts single applications
-        (``"betw"``), mixes (``"betw-back"``) and group tokens (``"mixes"``,
-        ``"graph"``, ``"scientific"``).
+        of :class:`OverrideSet`.  Override paths are resolved against the
+        :mod:`repro.configspace` schema here — values are coerced to their
+        declared types (so ``"32"`` and ``32`` produce bit-identical cells)
+        and bad paths/values raise before any cell runs.  ``workloads``
+        accepts single applications (``"betw"``), mixes (``"betw-back"``)
+        and group tokens (``"mixes"``, ``"graph"``, ``"scientific"``).
         """
         if overrides is None:
             override_sets: Tuple[OverrideSet, ...] = (OverrideSet("default"),)
         elif isinstance(overrides, Mapping):
-            if overrides and all(isinstance(v, Mapping) for v in overrides.values()):
+            if not overrides:
+                # An empty mapping carries no overrides: it IS the default
+                # point and must label (and cache) as such.
+                override_sets = (OverrideSet("default"),)
+            elif all(isinstance(v, Mapping) for v in overrides.values()):
                 override_sets = tuple(
                     OverrideSet.create(str(label), mapping)
                     for label, mapping in overrides.items()
@@ -122,6 +122,16 @@ class SweepSpec:
             override_sets = tuple(overrides)
         if not override_sets:
             override_sets = (OverrideSet("default"),)
+        override_sets = tuple(
+            OverrideSet(
+                label=override_set.label,
+                overrides=tuple(
+                    (path, SCHEMA.coerce(path, value))
+                    for path, value in override_set.overrides
+                ),
+            )
+            for override_set in override_sets
+        )
         from repro.platforms.zng import PLATFORM_NAMES
 
         known_platforms = ["GDDR5"] + PLATFORM_NAMES
@@ -203,6 +213,19 @@ class SweepCell:
         base = self.base_config or default_config()
         return apply_overrides(base, self.override_set.as_mapping())
 
+    def platform_config(self) -> PlatformConfig:
+        """The config *after* the platform's pinned layer is applied.
+
+        This is what the platform constructor actually runs with (the pin is
+        idempotent, so building from either config is equivalent) — and what
+        the cache key must hash: editing a platform's declarative delta in
+        ``PLATFORM_LAYERS`` has to miss the cache, exactly like editing a
+        Table I default.
+        """
+        from repro.configspace.layers import resolve_platform_config
+
+        return resolve_platform_config(self.platform, self.resolved_config()).config
+
     def descriptor(self) -> Dict[str, object]:
         """Canonical plain-data form: worker payload and cache-key input."""
         return {
@@ -215,7 +238,7 @@ class SweepCell:
             "num_sms": self.num_sms,
             "warps_per_sm": self.warps_per_sm,
             "memory_instructions_per_warp": self.memory_instructions_per_warp,
-            "config": asdict(self.resolved_config()),
+            "config": asdict(self.platform_config()),
         }
 
     def cache_key(self) -> str:
@@ -223,10 +246,13 @@ class SweepCell:
 
         The resolved config is hashed (not just the overrides), so sweeps
         with different base configs — or a changed Table I default — never
-        alias each other's cache entries.
+        alias each other's cache entries.  The descriptor is encoded with the
+        strict canonical encoder from :mod:`repro.configspace.fingerprint`:
+        a value it cannot encode exactly raises
+        :class:`~repro.configspace.CanonicalEncodingError` instead of being
+        stringified into a potentially aliasing key (cache schema v3).
         """
-        canonical = json.dumps(self.descriptor(), sort_keys=True, default=str)
-        return hashlib.sha256(canonical.encode()).hexdigest()
+        return hashlib.sha256(canonical_json(self.descriptor()).encode()).hexdigest()
 
     def trace_key(self) -> Tuple:
         """Key over *everything* :func:`build_cell_trace` consumes.

@@ -1,0 +1,48 @@
+"""Schema-drift gate (CI satellite).
+
+A golden file (``tests/data/config_schema_paths.txt``) pins every dotted
+config path together with its type, unit and provenance doc.  Adding a config
+field without ``table_field`` metadata — or changing the schema without
+regenerating the golden file — fails here with regeneration instructions.
+"""
+
+from pathlib import Path
+
+from repro.configspace import SCHEMA
+
+GOLDEN = Path(__file__).resolve().parent.parent / "data" / "config_schema_paths.txt"
+
+REGENERATE = (
+    "regenerate with: PYTHONPATH=src python -m repro config --golden "
+    "> tests/data/config_schema_paths.txt"
+)
+
+
+def test_every_config_field_has_schema_metadata():
+    # A field added to repro/config.py without table_field(unit=..., doc=...)
+    # lands here before it lands anywhere else.
+    assert SCHEMA.undocumented() == [], (
+        "config fields missing unit/doc metadata — declare them with "
+        f"table_field(): {SCHEMA.undocumented()}"
+    )
+
+
+def test_schema_matches_golden_file():
+    golden_lines = GOLDEN.read_text().splitlines()
+    current_lines = SCHEMA.golden_lines()
+    added = sorted(set(current_lines) - set(golden_lines))
+    removed = sorted(set(golden_lines) - set(current_lines))
+    assert current_lines == golden_lines, (
+        f"config schema drifted from the golden file "
+        f"({len(added)} added/changed, {len(removed)} removed/changed); "
+        f"review the diff and {REGENERATE}\n"
+        f"added:   {[line.split(chr(9))[0] for line in added]}\n"
+        f"removed: {[line.split(chr(9))[0] for line in removed]}"
+    )
+
+
+def test_golden_file_is_sorted_and_complete():
+    lines = GOLDEN.read_text().splitlines()
+    paths = [line.split("\t")[0] for line in lines]
+    assert paths == sorted(paths)
+    assert len(paths) == len(SCHEMA)

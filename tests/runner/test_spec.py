@@ -3,6 +3,11 @@
 import pytest
 
 from repro.config import default_config
+from repro.configspace import (
+    CanonicalEncodingError,
+    ConfigPathError,
+    ConfigValueError,
+)
 from repro.runner import OverrideSet, SweepSpec, apply_overrides, cell_seed
 
 
@@ -31,6 +36,24 @@ class TestApplyOverrides:
     def test_unknown_subtree_raises(self, config):
         with pytest.raises(KeyError):
             apply_overrides(config, {"nonsense.field": 1})
+
+    def test_property_path_raises_clear_error(self, config):
+        # znand.total_planes is derived from channels x packages x dies x
+        # planes; overriding it must explain that, not report "no field".
+        with pytest.raises(ConfigPathError, match="derived property"):
+            apply_overrides(config, {"znand.total_planes": 4096})
+
+    def test_type_mismatch_rejected(self, config):
+        with pytest.raises(ConfigValueError, match="expects an int"):
+            apply_overrides(config, {"znand.channels": "many"})
+
+    def test_cli_string_values_coerced(self, config):
+        out = apply_overrides(config, {"znand.channels": "8"})
+        assert out.znand.channels == 8
+
+    def test_invariant_violation_rejected(self, config):
+        with pytest.raises(ConfigValueError, match="l1-geometry"):
+            apply_overrides(config, {"gpu.l1_sets": 16})
 
 
 class TestSweepSpec:
@@ -70,6 +93,38 @@ class TestSweepSpec:
         assert cell_seed(1, "betw-back") == cell_seed(1, "betw-back")
         assert cell_seed(1, "betw-back") != cell_seed(2, "betw-back")
 
+    def test_empty_override_mapping_labels_as_default(self):
+        # An empty mapping carries no overrides: it must label (and cache)
+        # exactly like the no-overrides spec, not as a phantom "override".
+        spec = SweepSpec.create(
+            platforms=["ZnG"], workloads=["betw-back"], overrides={})
+        assert [o.label for o in spec.overrides] == ["default"]
+        baseline = SweepSpec.create(platforms=["ZnG"], workloads=["betw-back"])
+        assert spec == baseline
+        assert spec.cells()[0].label == "ZnG/betw-back"
+        assert spec.cells()[0].cache_key() == baseline.cells()[0].cache_key()
+
+    def test_create_coerces_override_values(self):
+        spec = SweepSpec.create(
+            platforms=["ZnG"], workloads=["betw-back"],
+            overrides={"wide": {"znand.channels": "32"}},
+        )
+        assert spec.overrides[0].overrides == (("znand.channels", 32),)
+
+    def test_create_rejects_bad_override_values(self):
+        with pytest.raises(ConfigValueError):
+            SweepSpec.create(
+                platforms=["ZnG"], workloads=["betw-back"],
+                overrides={"bad": {"znand.channels": "many"}},
+            )
+
+    def test_create_rejects_property_override_paths(self):
+        with pytest.raises(ConfigPathError):
+            SweepSpec.create(
+                platforms=["ZnG"], workloads=["betw-back"],
+                overrides={"bad": {"znand.total_planes": 1}},
+            )
+
 
 class TestCacheKey:
     def _cell(self, **kwargs):
@@ -94,6 +149,66 @@ class TestCacheKey:
         custom = default_config().copy()
         custom.znand = type(custom.znand)(channels=2)
         assert self._cell(base_config=custom).cache_key() != self._cell().cache_key()
+
+    def test_descriptor_hashes_the_platform_resolved_config(self):
+        # The cache key must cover the platform's pinned layer, not just
+        # base + overrides: ZnG pins the mesh network and copies the
+        # write-cache register knob into znand before running.
+        descriptor = self._cell(
+            overrides={"register_cache.registers_per_plane": 16}).descriptor()
+        assert descriptor["config"]["znand"]["flash_network_type"] == "mesh"
+        assert descriptor["config"]["znand"]["registers_per_plane"] == 16
+
+    def test_editing_a_platform_layer_changes_the_key(self, monkeypatch):
+        # A maintainer changing a platform's declarative delta must miss the
+        # cache, exactly like a changed Table I default.
+        from repro.configspace import ConfigLayer
+        from repro.configspace import layers as layers_module
+
+        before = self._cell().cache_key()
+        monkeypatch.setitem(
+            layers_module.PLATFORM_LAYERS, "ZnG",
+            ConfigLayer.create(
+                "platform:ZnG", "platform",
+                {"znand.flash_network_type": "mesh",
+                 "znand.registers_per_plane": 4}, pinned=True),
+        )
+        assert self._cell().cache_key() != before
+
+    def test_coerced_values_hash_bit_identically(self):
+        # A CLI string, an int and a float-typed equivalent must produce the
+        # same canonical descriptor, hence the same cache key.
+        as_string = self._cell(overrides={"znand.channels": "32"}).cache_key()
+        as_int = self._cell(overrides={"znand.channels": 32}).cache_key()
+        assert as_string == as_int
+        lat_int = self._cell(
+            overrides={"znand.read_latency_us": 2}).cache_key()
+        lat_float = self._cell(
+            overrides={"znand.read_latency_us": 2.0}).cache_key()
+        assert lat_int == lat_float
+
+    def test_unencodable_override_value_raises(self):
+        # The v3 canonical encoder must raise instead of stringifying a
+        # value without an exact encoding into a potentially aliasing key.
+        # NaN passes float coercion but json.dumps would happily emit the
+        # non-canonical literal "NaN" — exactly the silent-aliasing class the
+        # strict encoder closes.
+        cell = self._cell(
+            overrides={"znand.read_latency_us": float("nan")})
+        with pytest.raises(CanonicalEncodingError, match="non-finite"):
+            cell.cache_key()
+
+    def test_arbitrary_object_override_raises(self):
+        # An object smuggled past create() dies at schema validation when the
+        # cell resolves its config — never silently stringified.
+        from dataclasses import replace as dc_replace
+
+        poisoned = dc_replace(
+            self._cell(),
+            override_set=OverrideSet("bad", (("znand.channels", object()),)),
+        )
+        with pytest.raises(ConfigValueError):
+            poisoned.cache_key()
 
 
 class TestOverrideSet:

@@ -87,3 +87,103 @@ class TestSweepCommand:
     def test_sweep_malformed_override(self, capsys):
         assert main(["sweep", "--set", "junk", "--no-cache"]) == 2
         assert "malformed override" in capsys.readouterr().out
+
+    def test_sweep_type_mismatched_override_rejected(self, capsys):
+        assert main(self.ARGS + [
+            "--no-cache", "--set", "x:znand.channels=fast",
+        ]) == 2
+        assert "expects an int" in capsys.readouterr().out
+
+    def test_sweep_property_override_rejected(self, capsys):
+        assert main(self.ARGS + [
+            "--no-cache", "--set", "x:znand.total_planes=4",
+        ]) == 2
+        assert "derived property" in capsys.readouterr().out
+
+    def test_sweep_out_of_range_override_rejected(self, capsys):
+        assert main(self.ARGS + [
+            "--no-cache", "--set", "x:znand.channels=0",
+        ]) == 2
+        assert ">=" in capsys.readouterr().out
+
+    def test_sweep_preset(self, capsys):
+        assert main([
+            "sweep", "--preset", "smoke", "--workloads", "bfs1",
+            "--scale", "0.05", "--workers", "1", "--no-cache",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ZnG-base" in out and "2 cells" in out
+
+    def test_sweep_unknown_preset(self, capsys):
+        assert main(["sweep", "--preset", "nope", "--no-cache"]) == 2
+        assert "unknown experiment preset" in capsys.readouterr().out
+
+    def test_sweep_config_file(self, capsys, tmp_path):
+        config_file = tmp_path / "overrides.json"
+        config_file.write_text('{"znand.channels": 8}')
+        assert main(self.ARGS + [
+            "--no-cache", "--config-file", str(config_file),
+        ]) == 0
+        assert "1 cells" in capsys.readouterr().out
+
+    def test_sweep_bad_config_file_value(self, capsys, tmp_path):
+        config_file = tmp_path / "overrides.json"
+        config_file.write_text('{"znand.channels": "fast"}')
+        assert main(self.ARGS + [
+            "--no-cache", "--config-file", str(config_file),
+        ]) == 2
+        assert "expects an int" in capsys.readouterr().out
+
+    def test_sweep_missing_config_file(self, capsys, tmp_path):
+        assert main(self.ARGS + [
+            "--no-cache", "--config-file", str(tmp_path / "absent.json"),
+        ]) == 2
+
+
+class TestConfigCommand:
+    def test_list_paths(self, capsys):
+        assert main(["config", "--list-paths"]) == 0
+        out = capsys.readouterr().out
+        assert "znand.channels" in out
+        assert "overridable paths" in out
+
+    def test_explain(self, capsys):
+        assert main(["config", "--explain", "znand.registers_per_plane"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        # The ZnG write-optimised presets pin this path.
+        assert "ZnG" in out and "register_cache.registers_per_plane" in out
+
+    def test_explain_unknown_path(self, capsys):
+        assert main(["config", "--explain", "znand.bogus"]) == 2
+        assert "no field" in capsys.readouterr().out
+
+    def test_explain_requires_path(self, capsys):
+        assert main(["config", "--explain"]) == 2
+
+    def test_diff(self, capsys):
+        assert main(["config", "--diff", "ZnG-base", "ZnG"]) == 0
+        out = capsys.readouterr().out
+        assert "znand.registers_per_plane" in out
+        assert "platform:ZnG" in out
+        assert "fingerprints:" in out
+
+    def test_diff_unknown_platform(self, capsys):
+        assert main(["config", "--diff", "ZnG", "NoSuch"]) == 2
+        assert "unknown platform" in capsys.readouterr().out
+
+    def test_presets(self, capsys):
+        assert main(["config", "--presets"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out and "table1-sensitivity" in out
+
+    def test_golden(self, capsys):
+        assert main(["config", "--golden"]) == 0
+        assert "znand.channels\tint" in capsys.readouterr().out
+
+    def test_no_args_usage(self, capsys):
+        assert main(["config"]) == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_unknown_option(self, capsys):
+        assert main(["config", "--bogus"]) == 2
