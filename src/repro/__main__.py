@@ -10,6 +10,7 @@ Usage::
     python -m repro validate            # analytic-vs-measured validations
     python -m repro run <platform> <read_app> <write_app>   # one platform x mix
     python -m repro sweep [options]     # parallel, cached experiment sweep
+    python -m repro merge <manifest>... # fold shard manifests into one result
     python -m repro config [options]    # inspect the configuration space
 
 Sweep options::
@@ -31,8 +32,27 @@ Sweep options::
     --warps N             warps per SM              (default: 8)
     --cache-dir DIR       result cache location     (default: .repro-cache)
     --no-cache            disable the result cache
+    --shard I/N           run only the I-th of N deterministic grid shards
+                          (1-based; shard union == the full grid, exactly)
+    --manifest FILE       run-manifest location (default: <cache-dir>/
+                          manifest.json, or manifest.shard-I-of-N.json);
+                          rewritten atomically after every finished cell
+    --resume FILE         re-run only the failed/missing cells recorded in a
+                          manifest (grid flags come from the manifest)
     --perf-report         print cells/sec plus the trace-build / simulate /
                           cache time split and write it to BENCH_sweep.json
+    --perf-report-path F  where to write the perf report (default: the repo
+                          root's BENCH_sweep.json, wherever you run from)
+
+Merge options (after one or more manifest paths)::
+
+    --metric NAME         table metric to print     (default: ipc)
+    --perf-report         write the merged, shard-aware perf report
+    --perf-report-path F  as for sweep
+
+``merge`` verifies completeness — identical spec fingerprints, every cell of
+the spec accounted for exactly once with status ok, every result loadable —
+and exits 1 on any missing, duplicated or failed cell.
 
 Config options::
 
@@ -154,9 +174,96 @@ def _load_config_file(path: str):
     return {str(p): SCHEMA.coerce(str(p), v) for p, v in payload.items()}
 
 
+def _parse_shard_flag(text: str):
+    """``I/N`` (1-based, as printed for humans) -> 0-based ``(index, count)``."""
+    index_text, slash, count_text = text.partition("/")
+    try:
+        if not slash:
+            raise ValueError
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ValueError(f"--shard expects I/N (e.g. 2/3), got {text!r}")
+    if count < 1 or not 1 <= index <= count:
+        raise ValueError(
+            f"--shard expects 1 <= I <= N, got {text!r}")
+    return index - 1, count
+
+
+def _default_perf_report_path():
+    """Anchor ``BENCH_sweep.json`` at the repo root, like the bench does.
+
+    The CLI used to write into the current working directory, silently
+    scattering trajectory points wherever a sweep happened to be launched
+    from (the ROADMAP flagged this footgun).  Falls back to the CWD only
+    when the source tree is not recognisable (e.g. an installed package).
+    """
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parents[2]
+    if (root / "setup.py").exists() or (root / "pytest.ini").exists():
+        return root / "BENCH_sweep.json"
+    return Path.cwd() / "BENCH_sweep.json"
+
+
+def _print_sweep_table(result) -> None:
+    """The shared per-cell table of ``sweep`` and ``merge``."""
+    spec = result.spec
+    show_label = len(spec.overrides) > 1 or spec.overrides[0].label != "default"
+    header = f"{'workload':12s} {'platform':12s}"
+    if show_label:
+        header += f" {'override':>20s}"
+    print(header + f" {'IPC':>10s} {'cycles':>14s} {'cached':>7s}")
+    for run in result:
+        line = f"{run.cell.workload:12s} {run.cell.platform:12s}"
+        if show_label:
+            line += f" {run.cell.override_set.label:>20s}"
+        line += (
+            f" {run.result.ipc:>10.4f} {run.result.cycles:>14.0f}"
+            f" {'yes' if run.from_cache else 'no':>7s}"
+        )
+        print(line)
+
+
+def _write_perf_report(result, path) -> int:
+    """Print the perf summary and persist the report; shared by sweep/merge."""
+    import json
+    from pathlib import Path
+
+    report = result.perf_report()
+    print(
+        f"perf: {report['executed_cells_per_sec']:.1f} simulated cells/sec "
+        f"({report['cells_per_sec']:.1f} incl. cache-served) | "
+        f"trace-build {report['trace_build_seconds']:.3f}s, "
+        f"simulate {report['simulate_seconds']:.3f}s, "
+        f"cache {report['cache_seconds']:.3f}s (worker-time aggregates)"
+    )
+    if report["executed_cells"] == 0:
+        # Don't overwrite the perf trajectory with a cache-read number.
+        # Merged results carry the shard runs' real executed counts, so a
+        # merge of cold shard runs writes; a merge of warm reruns does not.
+        print(
+            "perf: every cell came from the result cache — this measures "
+            "cache reads, not the simulator; perf report left "
+            "untouched (rerun with --no-cache for a hot-path number)"
+        )
+        return 0
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"perf report written to {path}")
+    return 0
+
+
 def _cmd_sweep(args: List[str]) -> int:
     from repro.configspace import get_preset
-    from repro.runner import SweepRunner, SweepSpec
+    from repro.runner import (
+        SweepExecutionError,
+        SweepRunner,
+        SweepSpec,
+        default_manifest_name,
+        resume_sweep,
+    )
 
     # Defaults; a --preset replaces them wholesale, later flags override.
     platforms = ["ZnG-base", "ZnG-rdopt", "ZnG-wropt", "ZnG"]
@@ -166,13 +273,19 @@ def _cmd_sweep(args: List[str]) -> int:
     workers, scale, seed, warps = 4, 0.2, 1, 8
     memory_instructions = 64
     cache: object = True  # memoize in the default cache location
+    cache_flagged = False  # did the user say --cache-dir/--no-cache explicitly?
     perf_report = False
+    perf_report_path = None
+    shard_coords = None
+    manifest_arg = None
+    resume_arg = None
     index = 0
     try:
         while index < len(args):
             flag = args[index]
             if flag == "--no-cache":
                 cache = False
+                cache_flagged = True
                 index += 1
                 continue
             if flag == "--perf-report":
@@ -217,6 +330,15 @@ def _cmd_sweep(args: List[str]) -> int:
                     warps = value
             elif flag == "--cache-dir":
                 cache = args[index + 1]
+                cache_flagged = True
+            elif flag == "--shard":
+                shard_coords = _parse_shard_flag(args[index + 1])
+            elif flag == "--manifest":
+                manifest_arg = args[index + 1]
+            elif flag == "--resume":
+                resume_arg = args[index + 1]
+            elif flag == "--perf-report-path":
+                perf_report_path = args[index + 1]
             else:
                 print(f"unknown sweep option {flag!r}")
                 return 2
@@ -229,72 +351,151 @@ def _cmd_sweep(args: List[str]) -> int:
         return 2
 
     try:
-        base_config = None
-        if file_overrides:
-            from repro.config import default_config
-            from repro.runner import apply_overrides
+        if resume_arg is not None:
+            # The grid comes from the manifest; only execution knobs apply.
+            if cache is False:
+                print("--resume needs the result cache the manifest records; "
+                      "drop --no-cache")
+                return 2
+            if manifest_arg is not None or shard_coords is not None:
+                # Both are recorded in the manifest being resumed; silently
+                # ignoring a conflicting value would mislead.
+                print("--resume takes its manifest path and shard "
+                      "coordinates from the manifest; drop --manifest/--shard")
+                return 2
+            result = resume_sweep(
+                resume_arg,
+                workers=workers,
+                cache=cache if (cache_flagged and cache is not True) else None,
+            )
+            runner_cache_root = None
+        else:
+            base_config = None
+            if file_overrides:
+                from repro.config import default_config
+                from repro.runner import apply_overrides
 
-            base_config = apply_overrides(default_config(), file_overrides)
-        spec = SweepSpec.create(
-            platforms=platforms,
-            workloads=workloads,
-            overrides=override_axis or None,
-            scale=scale,
-            seed=seed,
-            warps_per_sm=warps,
-            memory_instructions_per_warp=memory_instructions,
-            base_config=base_config,
-        )
-        runner = SweepRunner(workers=workers, cache=cache)
-        result = runner.run(spec)
+                base_config = apply_overrides(default_config(), file_overrides)
+            spec = SweepSpec.create(
+                platforms=platforms,
+                workloads=workloads,
+                overrides=override_axis or None,
+                scale=scale,
+                seed=seed,
+                warps_per_sm=warps,
+                memory_instructions_per_warp=memory_instructions,
+                base_config=base_config,
+            )
+            job = spec if shard_coords is None else spec.shard(*shard_coords)
+            runner = SweepRunner(workers=workers, cache=cache)
+            manifest_path = None
+            if manifest_arg is not None:
+                manifest_path = manifest_arg
+            elif runner.cache is not None:
+                shard_index, shard_count = shard_coords or (0, 1)
+                manifest_path = runner.cache.root / default_manifest_name(
+                    shard_index, shard_count)
+            result = runner.run(
+                job,
+                manifest_path=manifest_path,
+                on_error="record" if manifest_path is not None else "raise",
+            )
+            runner_cache_root = runner.cache.root if runner.cache else None
+    except SweepExecutionError as error:
+        print(error.args[0] if error.args else error)
+        return 1
     except (ValueError, KeyError) as error:
         # Unknown platform/workload/preset or a bad override: report cleanly.
         message = error.args[0] if error.args else error
         print(message)
         return 2
 
-    show_label = len(spec.overrides) > 1 or spec.overrides[0].label != "default"
-    header = f"{'workload':12s} {'platform':12s}"
-    if show_label:
-        header += f" {'override':>20s}"
-    print(header + f" {'IPC':>10s} {'cycles':>14s} {'cached':>7s}")
-    for run in result:
-        line = f"{run.cell.workload:12s} {run.cell.platform:12s}"
-        if show_label:
-            line += f" {run.cell.override_set.label:>20s}"
-        line += (
-            f" {run.result.ipc:>10.4f} {run.result.cycles:>14.0f}"
-            f" {'yes' if run.from_cache else 'no':>7s}"
-        )
-        print(line)
+    _print_sweep_table(result)
+    shard_note = ""
+    if result.shard_count is not None:
+        shard_note = (f" [shard {result.shard_index + 1}/{result.shard_count} "
+                      f"of a {len(result.spec)}-cell grid]")
     print(
         f"{len(result)} cells in {result.elapsed_seconds:.2f}s with {workers} workers; "
         f"{result.cache_hits} served from cache"
-        + (f" ({runner.cache.root})" if runner.cache is not None else "")
+        + (f" ({runner_cache_root})" if runner_cache_root is not None else "")
+        + shard_note
     )
+    if result.failed:
+        for failure in result.failed:
+            detail = failure.error.strip().splitlines()[-1]
+            print(f"FAILED {failure.label}: {detail}")
+        print(f"{len(result.failed)} cell(s) failed; re-run them with "
+              f"--resume <manifest>")
+        return 1
     if perf_report:
-        import json
+        _write_perf_report(result, perf_report_path or _default_perf_report_path())
+    return 0
 
-        report = result.perf_report()
-        print(
-            f"perf: {report['executed_cells_per_sec']:.1f} simulated cells/sec "
-            f"({report['cells_per_sec']:.1f} incl. cache-served) | "
-            f"trace-build {report['trace_build_seconds']:.3f}s, "
-            f"simulate {report['simulate_seconds']:.3f}s, "
-            f"cache {report['cache_seconds']:.3f}s (worker-time aggregates)"
-        )
-        if report["executed_cells"] == 0:
-            # Don't overwrite the perf trajectory with a cache-read number.
-            print(
-                "perf: every cell came from the result cache — this measures "
-                "cache reads, not the simulator; BENCH_sweep.json left "
-                "untouched (rerun with --no-cache for a hot-path number)"
-            )
+
+def _cmd_merge(args: List[str]) -> int:
+    """Fold N shard manifests + caches into one verified sweep result."""
+    from repro.runner import ManifestError, merge_manifests
+
+    manifest_paths: List[str] = []
+    metric = "ipc"
+    perf_report = False
+    perf_report_path = None
+    index = 0
+    while index < len(args):
+        flag = args[index]
+        if flag == "--perf-report":
+            perf_report = True
+            index += 1
+            continue
+        if flag.startswith("--") and index + 1 >= len(args):
+            print(f"missing value for {flag}")
+            return 2
+        if flag == "--metric":
+            metric = args[index + 1]
+            index += 2
+        elif flag == "--perf-report-path":
+            perf_report_path = args[index + 1]
+            index += 2
+        elif flag.startswith("--"):
+            print(f"unknown merge option {flag!r}")
+            return 2
         else:
-            with open("BENCH_sweep.json", "w") as handle:
-                json.dump(report, handle, indent=2, sort_keys=True)
-                handle.write("\n")
-            print("perf report written to BENCH_sweep.json")
+            manifest_paths.append(flag)
+            index += 1
+    if not manifest_paths:
+        print("usage: python -m repro merge <manifest.json>... "
+              "[--metric NAME] [--perf-report]")
+        return 2
+
+    try:
+        result = merge_manifests(manifest_paths)
+    except ManifestError as error:
+        print(f"merge failed: {error.args[0] if error.args else error}")
+        return 1
+
+    print(
+        f"merged {result.merged_shards} manifest(s): {len(result)} cells, "
+        f"complete and unique (spec {result.spec.fingerprint()[:12]})"
+    )
+    _print_sweep_table(result)
+    try:
+        table = result.table(metric)
+    except (AttributeError, TypeError, ValueError):
+        # Missing attribute, or one that exists but is not a number
+        # (platform, stats, ...) — either way not a table metric.
+        print(f"unknown metric {metric!r}")
+        return 2
+    platforms = list(result.spec.platforms)
+    print(f"\n{metric} table:")
+    print(f"{'workload':12s} " + " ".join(f"{p:>12s}" for p in platforms))
+    for workload, row in table.items():
+        print(f"{workload:12s} "
+              + " ".join(f"{row.get(p, float('nan')):>12.4f}" for p in platforms))
+    print(f"total shard time: {result.elapsed_seconds:.2f}s across "
+          f"{result.merged_shards} shard run(s)")
+    if perf_report:
+        _write_perf_report(result, perf_report_path or _default_perf_report_path())
     return 0
 
 
@@ -395,6 +596,7 @@ def _cmd_config(args: List[str]) -> int:
 COMMANDS = {
     "report": _cmd_report,
     "sweep": _cmd_sweep,
+    "merge": _cmd_merge,
     "config": _cmd_config,
     "fig10": _cmd_fig10,
     "fig11": _cmd_fig11,

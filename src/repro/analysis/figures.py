@@ -81,6 +81,53 @@ def _sweep_mixes(
     )
 
 
+def _normalised_ipc(
+    grid: Mapping[str, Mapping[str, PlatformResult]],
+    platform_names: Sequence[str],
+    normalize_to: str,
+) -> Dict[str, Dict[str, float]]:
+    """Pivot ``{mix: {platform: result}}`` to per-mix IPC normalised to one
+    platform (falling back to the per-mix best when it is absent/zero)."""
+    output: Dict[str, Dict[str, float]] = {}
+    for name, results in grid.items():
+        reference = results[normalize_to].ipc if normalize_to in results else None
+        if not reference:
+            reference = max(result.ipc for result in results.values()) or 1.0
+        output[name] = {p: results[p].ipc / reference for p in platform_names}
+    return output
+
+
+def figure_10_from_result(
+    result,
+    platforms: Optional[Sequence[str]] = None,
+    normalize_to: str = "ZnG",
+) -> Dict[str, Dict[str, float]]:
+    """Figure 10 from an already-run sweep — e.g. one folded together by
+    ``repro merge`` from N shard manifests — instead of running the grid.
+
+    ``result`` is any :class:`repro.runner.SweepResult` covering the fig10
+    platforms x mixes; platforms default to the result's own spec.
+    """
+    platform_names = list(platforms or result.spec.platforms)
+    return _normalised_ipc(result.grid(), platform_names, normalize_to)
+
+
+def figure_11_from_result(
+    result,
+    platforms: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 11 (flash-array read bandwidth) from an already-run sweep."""
+    platform_names = list(platforms or result.spec.platforms)
+    return {
+        name: {
+            platform: results[platform].flash_array_read_bandwidth_gbps
+            for platform in platform_names
+            if platform in results
+        }
+        for name, results in result.grid().items()
+    }
+
+
 def _mixes_for(
     mixes: Optional[Sequence[Tuple[str, str]]],
     scale: float,
@@ -285,15 +332,9 @@ def figure_10(
     the sweep runner: pass ``workers``/``cache`` to parallelise and memoize.
     """
     platform_names = list(platforms or PLATFORM_NAMES)
-    output: Dict[str, Dict[str, float]] = {}
-    for name, results in _sweep_mixes(
-        platform_names, mixes, scale, config, workers=workers, cache=cache
-    ).items():
-        reference = results[normalize_to].ipc if normalize_to in results else None
-        if not reference:
-            reference = max(result.ipc for result in results.values()) or 1.0
-        output[name] = {p: results[p].ipc / reference for p in platform_names}
-    return output
+    grid = _sweep_mixes(platform_names, mixes, scale, config,
+                        workers=workers, cache=cache)
+    return _normalised_ipc(grid, platform_names, normalize_to)
 
 
 def figure_10_raw(

@@ -54,6 +54,33 @@ def axis_values(path: str) -> List[object]:
     return list(values)
 
 
+def axis_from_result(
+    result,
+    values: Sequence[object],
+) -> Dict[object, PlatformResult]:
+    """Pivot an already-run single-axis sweep back to ``{value: result}``.
+
+    ``result`` is any :class:`repro.runner.SweepResult` whose override axis
+    was labelled ``str(value)`` — which is how :func:`sweep_axis` (and the
+    sensitivity presets) label their points — so a sweep merged from shard
+    manifests by ``repro merge`` plugs straight back into the sensitivity
+    surface without re-running anything.  Raises :class:`KeyError` naming
+    the first value the result does not cover.
+    """
+    labelled: Dict[str, PlatformResult] = {
+        run.cell.override_set.label: run.result for run in result
+    }
+    out: Dict[object, PlatformResult] = {}
+    for value in values:
+        label = str(value)
+        if label not in labelled:
+            raise KeyError(
+                f"sweep result has no point labelled {label!r}; "
+                f"labels present: {sorted(labelled)}")
+        out[value] = labelled[label]
+    return out
+
+
 def sweep_axis(
     values: Sequence[object],
     path: str,
@@ -68,21 +95,17 @@ def sweep_axis(
     Returns ``{value: PlatformResult}`` in input order.  This is the
     runner-backed primitive behind every named sweep below.
     """
-    labels = {str(value): value for value in values}
     spec = SweepSpec.create(
         platforms=[platform],
         workloads=[workload],
-        overrides={label: {path: value} for label, value in labels.items()},
+        overrides={str(value): {path: value} for value in values},
         scale=scale,
         seed=SWEEP_SEED,
         warps_per_sm=SWEEP_WARPS_PER_SM,
         memory_instructions_per_warp=SWEEP_MEM_INSTS,
     )
     sweep = SweepRunner(workers=workers, cache=cache).run(spec)
-    out: Dict[object, PlatformResult] = {}
-    for run in sweep:
-        out[labels[run.cell.override_set.label]] = run.result
-    return {value: out[value] for value in values}
+    return axis_from_result(sweep, values)
 
 
 def sweep_schema_axis(

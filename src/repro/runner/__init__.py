@@ -34,6 +34,21 @@ Cells are seeded deterministically from ``(seed, workload)`` alone, so every
 platform sees the identical trace and serial runs, parallel runs and cached
 re-runs are bit-identical.
 
+Sharding, manifests, resume and merge
+-------------------------------------
+``spec.shard(i, n)`` is the ``i``-th (0-based) of ``n`` deterministic
+partitions of the grid — cells ordered by cache key, dealt round-robin — and
+runs anywhere a spec does::
+
+    result = run_sweep(spec.shard(0, 3), workers=4, cache=".repro-cache")
+
+A run given a ``manifest_path`` persists a schema-versioned record of every
+cell (status/cache key/elapsed), atomically rewritten as cells finish;
+:func:`resume_sweep` re-executes only the failed/missing cells of a manifest,
+and :func:`merge_manifests` folds N shard manifests + caches back into one
+complete, verified ``SweepResult`` (see :mod:`repro.runner.manifest`).  The
+CLI front ends are ``sweep --shard I/N``, ``sweep --resume`` and ``merge``.
+
 Cache layout
 ------------
 Finished cells are memoized under ``.repro-cache/`` (override with
@@ -51,7 +66,9 @@ The CLI front end is ``python -m repro sweep``.
 
 from repro.runner.cache import CACHE_VERSION, ResultCache, default_cache_dir
 from repro.runner.runner import (
+    CellFailure,
     CellRun,
+    SweepExecutionError,
     SweepResult,
     SweepRunner,
     execute_cell,
@@ -62,26 +79,48 @@ from repro.runner.runner import (
 from repro.runner.spec import (
     OverrideSet,
     SweepCell,
+    SweepShard,
     SweepSpec,
     apply_overrides,
     build_cell_trace,
     cell_seed,
 )
+from repro.runner.manifest import (
+    MANIFEST_SCHEMA,
+    ManifestCell,
+    ManifestError,
+    MergeError,
+    RunManifest,
+    default_manifest_name,
+    merge_manifests,
+    resume_sweep,
+)
 
 __all__ = [
     "CACHE_VERSION",
+    "CellFailure",
     "CellRun",
+    "MANIFEST_SCHEMA",
+    "ManifestCell",
+    "ManifestError",
+    "MergeError",
     "OverrideSet",
     "ResultCache",
+    "RunManifest",
     "SweepCell",
+    "SweepExecutionError",
     "SweepResult",
     "SweepRunner",
+    "SweepShard",
     "SweepSpec",
     "apply_overrides",
     "build_cell_trace",
     "cell_seed",
     "default_cache_dir",
+    "default_manifest_name",
     "execute_cell",
+    "merge_manifests",
+    "resume_sweep",
     "run_grid",
     "run_sweep",
     "shutdown_worker_pools",

@@ -69,6 +69,15 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def path_for(self, key: str) -> Path:
+        """Where ``key``'s entry lives (whether or not it exists yet).
+
+        Public so the manifest/merge layer and tests can reason about
+        individual entries — e.g. simulating a mid-sweep kill by deleting
+        exactly the cells a resume must re-execute.
+        """
+        return self._path(key)
+
     def collect_stale_tmp_files(self, min_age_seconds: float = STALE_TMP_SECONDS) -> int:
         """Delete orphaned ``*.tmp`` files left by interrupted writes.
 

@@ -20,13 +20,18 @@ import atexit
 import multiprocessing
 import os
 import time
+import traceback
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.platforms.base import GPUSSDPlatform, PlatformResult
 from repro.runner.cache import ResultCache
-from repro.runner.spec import SweepCell, SweepSpec, build_cell_trace
+from repro.runner.spec import SweepCell, SweepShard, SweepSpec, build_cell_trace
+
+
+class SweepExecutionError(RuntimeError):
+    """A cell raised inside a worker (re-raised with its traceback text)."""
 
 #: Per-process memo of generated traces: all platforms of one sweep share the
 #: same trace, so each worker builds it only once.  Keyed by
@@ -70,10 +75,21 @@ def _execute_cell_timed(cell: SweepCell) -> Tuple[PlatformResult, Dict[str, floa
 
 def _execute_indexed(
     item: Tuple[int, SweepCell]
-) -> Tuple[int, PlatformResult, Dict[str, float]]:
+) -> Tuple[int, Optional[PlatformResult], Dict[str, float], Optional[str]]:
+    """Pool-worker entry: run one cell, trapping its failure as data.
+
+    Cell exceptions are caught *inside* the worker and shipped back as a
+    traceback string, so one bad cell neither kills the sweep nor poisons
+    the shared pool; the parent decides (``on_error``) whether to record the
+    failure in the manifest and continue, or to re-raise.  Exceptions that
+    escape this function are pool-level failures (e.g. a terminated pool).
+    """
     index, cell = item
-    result, timings = _execute_cell_timed(cell)
-    return index, result, timings
+    try:
+        result, timings = _execute_cell_timed(cell)
+    except Exception:
+        return index, None, {}, traceback.format_exc()
+    return index, result, timings, None
 
 
 # ---------------------------------------------------------------------------
@@ -145,8 +161,27 @@ class CellRun:
 
 
 @dataclass
+class CellFailure:
+    """One cell that raised during execution (``on_error="record"`` mode)."""
+
+    cell: SweepCell
+    error: str
+
+    @property
+    def label(self) -> str:
+        return self.cell.label
+
+
+@dataclass
 class SweepResult:
-    """All finished cells of one sweep plus cache/timing accounting."""
+    """All finished cells of one sweep plus cache/timing accounting.
+
+    A sharded run carries its shard coordinates (``shard_index`` 0-based /
+    ``shard_count``); a result folded together by ``repro merge`` carries
+    ``merged_shards`` and the per-shard elapsed times instead.  Cells that
+    raised under ``on_error="record"`` are listed in ``failed`` and absent
+    from ``runs``.
+    """
 
     spec: SweepSpec
     runs: List[CellRun] = field(default_factory=list)
@@ -155,6 +190,11 @@ class SweepResult:
     cache_misses: int = 0
     #: Runner-side wall time spent probing/storing the on-disk result cache.
     cache_seconds: float = 0.0
+    failed: List[CellFailure] = field(default_factory=list)
+    shard_index: Optional[int] = None
+    shard_count: Optional[int] = None
+    merged_shards: Optional[int] = None
+    shard_elapsed_seconds: List[float] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.runs)
@@ -232,11 +272,15 @@ class SweepResult:
 
         Worker-side phase times are *aggregates across workers*, so with N
         workers they may legitimately sum to more than ``elapsed_seconds``.
+        Sharded runs add ``shard_index``/``shard_count``; merged results add
+        ``merged_shards`` plus the per-shard elapsed list (additive fields,
+        schema stays v1).
         """
-        return {
+        report: Dict[str, object] = {
             "schema": "repro-bench-sweep-v1",
             "cells": len(self.runs),
             "executed_cells": sum(1 for run in self.runs if not run.from_cache),
+            "failed_cells": len(self.failed),
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "elapsed_seconds": self.elapsed_seconds,
@@ -246,6 +290,13 @@ class SweepResult:
             "simulate_seconds": self.simulate_seconds,
             "cache_seconds": self.cache_seconds,
         }
+        if self.shard_count is not None:
+            report["shard_index"] = self.shard_index
+            report["shard_count"] = self.shard_count
+        if self.merged_shards is not None:
+            report["merged_shards"] = self.merged_shards
+            report["shard_elapsed_seconds"] = list(self.shard_elapsed_seconds)
+        return report
 
 
 class SweepRunner:
@@ -273,61 +324,136 @@ class SweepRunner:
             self.cache = ResultCache(cache)
 
     # ------------------------------------------------------------------
-    def run(self, spec: SweepSpec) -> SweepResult:
+    def run(
+        self,
+        spec: Union[SweepSpec, SweepShard],
+        manifest_path: Union[os.PathLike, str, None] = None,
+        on_error: str = "raise",
+    ) -> SweepResult:
+        """Run a spec — or one deterministic shard of one — to completion.
+
+        With ``manifest_path`` set, a schema-versioned run manifest is
+        written there *before* execution (all cells ``pending`` except cache
+        hits) and atomically rewritten after every finished cell, so a run
+        killed mid-sweep leaves an accurate, resumable record on disk.
+
+        ``on_error`` decides what a raising cell does: ``"raise"`` (default)
+        re-raises as :class:`SweepExecutionError` after recording the failure
+        in the manifest; ``"record"`` (what the CLI uses for manifest runs)
+        lists the cell in ``result.failed`` and keeps sweeping, so one bad
+        cell costs one cell, not the whole shard.
+        """
+        if on_error not in ("raise", "record"):
+            raise ValueError(f"on_error must be 'raise' or 'record', got {on_error!r}")
         started = time.perf_counter()
+        if isinstance(spec, SweepShard):
+            base_spec, shard_index, shard_count = spec.spec, spec.index, spec.count
+        else:
+            base_spec, shard_index, shard_count = spec, None, None
         cells = spec.cells()
         runs: List[Optional[CellRun]] = [None] * len(cells)
+        failed: List[CellFailure] = []
         cache_seconds = 0.0
 
-        pending: List[Tuple[int, SweepCell]] = []
         keys: List[Optional[str]] = [None] * len(cells)
+        if self.cache is not None or manifest_path is not None:
+            keys = [cell.cache_key() for cell in cells]
+
+        manifest = None
+        if manifest_path is not None:
+            from repro.runner.manifest import RunManifest
+
+            manifest = RunManifest.for_run(
+                base_spec,
+                cells,
+                shard_index=shard_index or 0,
+                shard_count=shard_count or 1,
+                cache_dir=str(self.cache.root) if self.cache is not None else "",
+            )
+
+        pending: List[Tuple[int, SweepCell]] = []
         for index, cell in enumerate(cells):
             if self.cache is not None:
                 probe_started = time.perf_counter()
-                keys[index] = cell.cache_key()
                 cached = self.cache.get(keys[index])
                 cache_seconds += time.perf_counter() - probe_started
                 if cached is not None:
                     runs[index] = CellRun(cell=cell, result=cached, from_cache=True)
+                    if manifest is not None:
+                        manifest.mark(keys[index], "ok", from_cache=True)
                     continue
             pending.append((index, cell))
+        if manifest is not None:
+            manifest.write(manifest_path)
 
-        for index, result, timings in self._execute(pending):
-            cell = cells[index]
-            runs[index] = CellRun(
-                cell=cell, result=result, from_cache=False, timings=timings
-            )
-            if self.cache is not None:
-                store_started = time.perf_counter()
-                self.cache.put(keys[index] or cell.cache_key(), result, cell.descriptor())
-                cache_seconds += time.perf_counter() - store_started
+        try:
+            for index, result, timings, error in self._execute(pending):
+                cell = cells[index]
+                if error is not None:
+                    if manifest is not None:
+                        manifest.mark(keys[index], "failed", error=error)
+                        manifest.write(manifest_path)
+                    if on_error == "raise":
+                        raise SweepExecutionError(
+                            f"cell {cell.label} failed:\n{error}")
+                    failed.append(CellFailure(cell=cell, error=error))
+                    continue
+                runs[index] = CellRun(
+                    cell=cell, result=result, from_cache=False, timings=timings
+                )
+                if self.cache is not None:
+                    store_started = time.perf_counter()
+                    self.cache.put(keys[index], result, cell.descriptor())
+                    cache_seconds += time.perf_counter() - store_started
+                if manifest is not None:
+                    manifest.mark(keys[index], "ok", timings=timings)
+                    manifest.write(manifest_path)
+        except Exception:
+            # Pool-level failure *or* an on_error="raise" cell failure:
+            # either way the shared pool still holds queued cells whose
+            # results nobody will consume — terminate it so no ghost work
+            # burns the workers, and the next sweep gets a fresh fork.
+            _discard_pool(self.workers)
+            raise
 
+        elapsed = time.perf_counter() - started
         hits = sum(1 for run in runs if run is not None and run.from_cache)
+        if manifest is not None:
+            manifest.elapsed_seconds = elapsed
+            manifest.write(manifest_path)
         return SweepResult(
-            spec=spec,
+            spec=base_spec,
             runs=[run for run in runs if run is not None],
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=elapsed,
             cache_hits=hits,
             cache_misses=len(cells) - hits,
             cache_seconds=cache_seconds,
+            failed=failed,
+            shard_index=shard_index,
+            shard_count=shard_count,
         )
 
     # ------------------------------------------------------------------
     def _execute(
         self, pending: Sequence[Tuple[int, SweepCell]]
-    ) -> Iterable[Tuple[int, PlatformResult, Dict[str, float]]]:
+    ) -> Iterator[Tuple[int, Optional[PlatformResult], Dict[str, float], Optional[str]]]:
+        """Yield finished cells as they complete (unordered beyond serial).
+
+        Streaming (``imap_unordered``) rather than batched (``map``) so the
+        caller can persist each result — cache entry and manifest line — the
+        moment it exists: a killed run loses at most the in-flight cells.
+        """
         if not pending:
-            return []
+            return
         if self.workers == 1 or len(pending) == 1:
-            return [_execute_indexed(item) for item in pending]
+            for item in pending:
+                yield _execute_indexed(item)
+            return
         # chunksize=1: cells are coarse (whole simulations), so dynamic
         # dispatch beats pre-chunking when runtimes are skewed.
         pool = _shared_pool(self.workers)
-        try:
-            return pool.map(_execute_indexed, list(pending), chunksize=1)
-        except Exception:
-            _discard_pool(self.workers)
-            raise
+        for outcome in pool.imap_unordered(_execute_indexed, list(pending), chunksize=1):
+            yield outcome
 
 
 def run_sweep(

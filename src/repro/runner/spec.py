@@ -152,6 +152,70 @@ class SweepSpec:
             base_config=base_config,
         )
 
+    def descriptor(self) -> Dict[str, object]:
+        """Canonical plain-data form of the *declared* grid.
+
+        This is what run manifests persist: enough to reconstruct the spec
+        bit-identically (see :meth:`from_descriptor`) and to fingerprint it.
+        The optional ``base_config`` is embedded as its full field mapping so
+        a manifest survives the process that created it.
+        """
+        return {
+            "platforms": list(self.platforms),
+            "workloads": list(self.workloads),
+            "overrides": [
+                [override_set.label,
+                 [[path, value] for path, value in override_set.overrides]]
+                for override_set in self.overrides
+            ],
+            "scale": self.scale,
+            "seed": self.seed,
+            "num_sms": self.num_sms,
+            "warps_per_sm": self.warps_per_sm,
+            "memory_instructions_per_warp": self.memory_instructions_per_warp,
+            "base_config": asdict(self.base_config) if self.base_config else None,
+        }
+
+    def fingerprint(self) -> str:
+        """Content hash of the declared grid (what shard manifests must share).
+
+        Two specs fingerprint identically exactly when they declare the same
+        grid — platforms, workloads, override axis, trace knobs and base
+        config — regardless of how they were constructed.
+        """
+        from repro.configspace.fingerprint import fingerprint
+
+        return fingerprint(self.descriptor())
+
+    @classmethod
+    def from_descriptor(cls, payload: Mapping[str, object]) -> "SweepSpec":
+        """Rebuild a spec from a :meth:`descriptor` payload (JSON round-trip).
+
+        Values re-enter through :meth:`create`, so they are re-coerced and
+        re-validated against the current schema — a manifest written against
+        an incompatible config schema fails loudly here instead of silently
+        sweeping a different grid.
+        """
+        base_config = None
+        if payload.get("base_config"):
+            base_config = _config_from_payload(payload["base_config"])  # type: ignore[arg-type]
+        override_sets = tuple(
+            OverrideSet(label=str(label),
+                        overrides=tuple((str(path), value) for path, value in items))
+            for label, items in payload["overrides"]  # type: ignore[union-attr]
+        )
+        return cls.create(
+            platforms=list(payload["platforms"]),  # type: ignore[arg-type]
+            workloads=list(payload["workloads"]),  # type: ignore[arg-type]
+            overrides=override_sets,
+            scale=payload["scale"],  # type: ignore[arg-type]
+            seed=payload["seed"],  # type: ignore[arg-type]
+            num_sms=payload["num_sms"],  # type: ignore[arg-type]
+            warps_per_sm=payload["warps_per_sm"],  # type: ignore[arg-type]
+            memory_instructions_per_warp=payload["memory_instructions_per_warp"],  # type: ignore[arg-type]
+            base_config=base_config,
+        )
+
     def cells(self) -> List["SweepCell"]:
         """Expand the grid into independent jobs (platform-major order)."""
         out: List[SweepCell] = []
@@ -175,6 +239,79 @@ class SweepSpec:
 
     def __len__(self) -> int:
         return len(self.platforms) * len(self.workloads) * len(self.overrides)
+
+    def shard(self, index: int, count: int) -> "SweepShard":
+        """One deterministic 1/``count`` partition of the cell grid.
+
+        Cells are ordered by their cache key — a total order that is stable
+        across processes, machines and grid-declaration order — and dealt
+        round-robin, so the union of all ``count`` shards is exactly the full
+        grid (every cell exactly once) and shard sizes differ by at most one.
+        ``index`` is 0-based (the CLI's ``--shard I/N`` flag is 1-based).
+        """
+        return SweepShard.create(self, index, count)
+
+
+@dataclass(frozen=True)
+class SweepShard:
+    """A deterministic slice of one :class:`SweepSpec`'s cell grid.
+
+    Runs exactly like a spec (the runner accepts either), but only over its
+    ``index``-th round-robin slice of the cache-key-ordered cell list.  The
+    union of the ``count`` shards of a spec is the full grid, bit-identical
+    to running the spec unsharded — which is what ``repro merge`` verifies.
+    """
+
+    spec: SweepSpec
+    index: int
+    count: int
+
+    @classmethod
+    def create(cls, spec: SweepSpec, index: int, count: int) -> "SweepShard":
+        if count < 1:
+            raise ValueError(f"shard count must be >= 1, got {count}")
+        if not 0 <= index < count:
+            raise ValueError(
+                f"shard index must be in [0, {count}), got {index}")
+        return cls(spec=spec, index=index, count=count)
+
+    def cells(self) -> List["SweepCell"]:
+        """This shard's cells, in the stable cache-key order."""
+        ordered = sorted(self.spec.cells(), key=lambda cell: cell.cache_key())
+        return ordered[self.index::self.count]
+
+    def __len__(self) -> int:
+        return len(range(self.index, len(self.spec), self.count))
+
+    def fingerprint(self) -> str:
+        """The *spec* fingerprint — all shards of one sweep share it."""
+        return self.spec.fingerprint()
+
+
+def _config_from_payload(payload: Mapping[str, object]) -> PlatformConfig:
+    """Rebuild a :class:`PlatformConfig` from its ``asdict`` mapping.
+
+    Every sub-config is a flat dataclass of scalars, so ``SubConfig(**sub)``
+    restores it exactly; unknown or missing fields raise, they are never
+    silently defaulted (a manifest must not resurrect a *different* config).
+    """
+    from dataclasses import fields as dataclass_fields
+
+    kwargs = {}
+    for config_field in dataclass_fields(PlatformConfig):
+        sub_payload = payload.get(config_field.name)
+        if not isinstance(sub_payload, Mapping):
+            raise ValueError(
+                f"base_config payload is missing sub-config {config_field.name!r}")
+        sub_cls = type(getattr(default_config(), config_field.name))
+        expected = {f.name for f in dataclass_fields(sub_cls)}
+        if set(sub_payload) != expected:
+            drift = sorted(set(sub_payload) ^ expected)
+            raise ValueError(
+                f"base_config sub-config {config_field.name!r} does not match "
+                f"the current schema (drifted fields: {drift})")
+        kwargs[config_field.name] = sub_cls(**dict(sub_payload))
+    return PlatformConfig(**kwargs)
 
 
 def cell_seed(spec_seed: int, workload: str) -> int:
@@ -251,8 +388,17 @@ class SweepCell:
         a value it cannot encode exactly raises
         :class:`~repro.configspace.CanonicalEncodingError` instead of being
         stringified into a potentially aliasing key (cache schema v3).
+
+        The key is memoized on the (frozen, immutable) cell: sharding orders
+        cells by key and the manifest layer records it again, so one
+        config-resolution + hash per cell instance, not three.
         """
-        return hashlib.sha256(canonical_json(self.descriptor()).encode()).hexdigest()
+        cached = self.__dict__.get("_cache_key")
+        if cached is None:
+            cached = hashlib.sha256(
+                canonical_json(self.descriptor()).encode()).hexdigest()
+            object.__setattr__(self, "_cache_key", cached)
+        return cached
 
     def trace_key(self) -> Tuple:
         """Key over *everything* :func:`build_cell_trace` consumes.

@@ -143,3 +143,39 @@ class TestFigure11:
         data = figures.figure_11(scale=0.08, mixes=QUICK_MIXES)
         for row in data.values():
             assert row["ZnG"] >= row["HybridGPU"]
+
+
+class TestFiguresFromMergedResults:
+    """figure_*_from_result plug an already-run (e.g. shard-merged) sweep in."""
+
+    def _sharded_merge(self, tmp_path, platforms):
+        from repro.runner import SweepRunner, SweepSpec, merge_manifests
+
+        # Identical grid + trace knobs to figure_10/figure_11(scale=0.08,
+        # mixes=QUICK_MIXES): the trace knobs stay at the spec defaults.
+        spec = SweepSpec.create(
+            platforms=platforms,
+            workloads=["betw-back", "bfs1-gaus"],
+            scale=0.08,
+        )
+        paths = []
+        for index in range(2):
+            root = tmp_path / f"shard{index}"
+            SweepRunner(workers=1, cache=root).run(
+                spec.shard(index, 2), manifest_path=root / "manifest.json")
+            paths.append(root / "manifest.json")
+        return spec, merge_manifests(paths)
+
+    def test_figure_10_from_merged_result_matches_direct_run(self, tmp_path):
+        platforms = ["HybridGPU", "ZnG-base", "ZnG"]
+        _, merged = self._sharded_merge(tmp_path, platforms)
+        direct = figures.figure_10(scale=0.08, mixes=QUICK_MIXES,
+                                   platforms=platforms)
+        assert figures.figure_10_from_result(merged) == direct
+
+    def test_figure_11_from_merged_result_matches_direct_run(self, tmp_path):
+        platforms = ["HybridGPU", "ZnG-base", "ZnG"]
+        _, merged = self._sharded_merge(tmp_path, platforms)
+        direct = figures.figure_11(scale=0.08, mixes=QUICK_MIXES,
+                                   platforms=platforms)
+        assert figures.figure_11_from_result(merged) == direct

@@ -45,3 +45,57 @@ class TestSweeps:
 
         results = sensitivity.generic_sweep(apply, values=[4, 8], scale=0.1)
         assert set(results) == {4, 8}
+
+
+class TestAxisFromResult:
+    """axis_from_result pivots an already-run axis sweep (e.g. shard-merged)."""
+
+    def test_round_trips_a_sweep_axis_result(self, tmp_path):
+        from repro.runner import SweepRunner, merge_manifests
+
+        values = [4, 8]
+        direct = sensitivity.sweep_registers_per_plane(values=values, scale=0.1)
+
+        # The same axis run as 2 shards, merged from manifests.
+        from repro.runner import SweepSpec
+        spec = SweepSpec.create(
+            platforms=["ZnG"],
+            workloads=[sensitivity.SWEEP_WORKLOAD],
+            overrides={str(v): {"register_cache.registers_per_plane": v}
+                       for v in values},
+            scale=0.1,
+            seed=sensitivity.SWEEP_SEED,
+            warps_per_sm=sensitivity.SWEEP_WARPS_PER_SM,
+            memory_instructions_per_warp=sensitivity.SWEEP_MEM_INSTS,
+        )
+        paths = []
+        for index in range(2):
+            root = tmp_path / f"shard{index}"
+            SweepRunner(workers=1, cache=root).run(
+                spec.shard(index, 2), manifest_path=root / "manifest.json")
+            paths.append(root / "manifest.json")
+        merged = merge_manifests(paths)
+
+        rebuilt = sensitivity.axis_from_result(merged, values)
+        assert {v: r.ipc for v, r in rebuilt.items()} == \
+            {v: r.ipc for v, r in direct.items()}
+        assert {v: r.stats.as_dict() for v, r in rebuilt.items()} == \
+            {v: r.stats.as_dict() for v, r in direct.items()}
+
+    def test_missing_label_raises(self):
+        result = sensitivity.sweep_interconnect(kinds=["swnet"], scale=0.1)
+        with pytest.raises(KeyError):
+            sensitivity.axis_from_result(
+                _as_sweep_result_like(result), ["fcnet"])
+
+
+def _as_sweep_result_like(value_results):
+    """Adapt a {value: PlatformResult} mapping back to an iterable of runs."""
+    from repro.runner import OverrideSet
+
+    class _Run:
+        def __init__(self, label, result):
+            self.cell = type("C", (), {"override_set": OverrideSet(label)})()
+            self.result = result
+
+    return [_Run(str(value), result) for value, result in value_results.items()]

@@ -128,6 +128,30 @@ class TestParallelSpeedup:
         assert parallel_elapsed <= 0.6 * serial_elapsed
 
 
+class TestCellFailureDiscardsPool:
+    def test_raise_mode_terminates_pool_so_no_ghost_work_survives(self, monkeypatch):
+        """Raising out of a parallel sweep abandons the result iterator with
+        cells still queued; the pool must be discarded (terminating them),
+        not left cached, or ghost simulations keep burning the workers."""
+        from repro.runner import SweepExecutionError, shutdown_worker_pools
+        from repro.runner import runner as runner_module
+
+        def explode(name, trace, config=None):
+            raise RuntimeError("injected cell failure")
+
+        monkeypatch.setattr(
+            runner_module.GPUSSDPlatform, "execute", staticmethod(explode))
+        # A pool forked before the patch would not see it — start fresh.
+        shutdown_worker_pools()
+        runner = SweepRunner(workers=2, cache=False)
+        try:
+            with pytest.raises(SweepExecutionError):
+                runner.run(_small_spec())
+            assert runner_module._POOLS.get(2) is None
+        finally:
+            shutdown_worker_pools()
+
+
 class TestSharedPoolRecovery:
     def test_dead_pool_is_replaced_not_cached(self):
         """A broken shared pool must be discarded after a failed dispatch so

@@ -140,6 +140,119 @@ class TestSweepCommand:
         ]) == 2
 
 
+class TestShardedSweepCLI:
+    SMOKE = ["sweep", "--preset", "smoke", "--workers", "1", "--scale", "0.05"]
+
+    def test_shard_writes_manifest_and_reports_coordinates(self, capsys, tmp_path):
+        assert main(self.SMOKE + [
+            "--cache-dir", str(tmp_path), "--shard", "1/2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[shard 1/2 of a 4-cell grid]" in out
+        assert (tmp_path / "manifest.shard-1-of-2.json").exists()
+
+    def test_unsharded_cached_sweep_writes_manifest_json(self, capsys, tmp_path):
+        assert main(self.SMOKE + ["--cache-dir", str(tmp_path)]) == 0
+        assert (tmp_path / "manifest.json").exists()
+
+    def test_no_cache_sweep_writes_no_manifest(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(self.SMOKE + ["--no-cache", "--workloads", "bfs1"]) == 0
+        assert list(tmp_path.iterdir()) == []
+
+    def test_explicit_manifest_path_wins(self, capsys, tmp_path):
+        manifest = tmp_path / "elsewhere" / "m.json"
+        assert main(self.SMOKE + [
+            "--cache-dir", str(tmp_path / "cache"),
+            "--manifest", str(manifest),
+        ]) == 0
+        assert manifest.exists()
+
+    @pytest.mark.parametrize("bad", ["0/3", "4/3", "x/3", "2", "1/0"])
+    def test_shard_flag_validation(self, capsys, bad):
+        assert main(self.SMOKE + ["--no-cache", "--shard", bad]) == 2
+        assert "--shard expects" in capsys.readouterr().out
+
+    def test_merge_round_trip_and_withheld_shard(self, capsys, tmp_path):
+        manifests = []
+        for index in (1, 2):
+            cache = tmp_path / f"shard{index}"
+            assert main(self.SMOKE + [
+                "--cache-dir", str(cache), "--shard", f"{index}/2",
+            ]) == 0
+            manifests.append(str(cache / f"manifest.shard-{index}-of-2.json"))
+        capsys.readouterr()
+
+        assert main(["merge"] + manifests) == 0
+        out = capsys.readouterr().out
+        assert "merged 2 manifest(s): 4 cells, complete and unique" in out
+        assert "ipc table:" in out
+
+        assert main(["merge", manifests[0]]) == 1
+        assert "merge failed:" in capsys.readouterr().out
+
+    def test_merge_requires_manifests(self, capsys):
+        assert main(["merge"]) == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_merge_unknown_option(self, capsys):
+        assert main(["merge", "--bogus", "x"]) == 2
+
+    def test_merge_non_numeric_metric_rejected(self, capsys, tmp_path):
+        assert main(self.SMOKE + ["--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        manifest = str(tmp_path / "manifest.json")
+        for metric in ("platform", "stats", "nope"):
+            assert main(["merge", manifest, "--metric", metric]) == 2
+            assert "unknown metric" in capsys.readouterr().out
+
+    def test_resume_rejects_conflicting_flags(self, capsys, tmp_path):
+        manifest = str(tmp_path / "m.json")
+        assert main(["sweep", "--resume", manifest, "--shard", "1/2"]) == 2
+        assert "--resume takes" in capsys.readouterr().out
+        assert main(["sweep", "--resume", manifest,
+                     "--manifest", str(tmp_path / "other.json")]) == 2
+        assert "--resume takes" in capsys.readouterr().out
+
+    def test_resume_round_trip(self, capsys, tmp_path):
+        assert main(self.SMOKE + ["--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main([
+            "sweep", "--resume", str(tmp_path / "manifest.json"),
+            "--workers", "1",
+        ]) == 0
+        assert "4 served from cache" in capsys.readouterr().out
+
+    def test_resume_rejects_no_cache(self, capsys, tmp_path):
+        assert main([
+            "sweep", "--resume", str(tmp_path / "m.json"), "--no-cache",
+        ]) == 2
+        assert "--resume needs the result cache" in capsys.readouterr().out
+
+    def test_resume_missing_manifest(self, capsys, tmp_path):
+        assert main([
+            "sweep", "--resume", str(tmp_path / "absent.json"),
+        ]) == 2
+
+    def test_perf_report_path_override(self, capsys, tmp_path):
+        target = tmp_path / "bench" / "report.json"
+        assert main(self.SMOKE + [
+            "--no-cache", "--workloads", "bfs1",
+            "--perf-report", "--perf-report-path", str(target),
+        ]) == 0
+        assert target.exists()
+        assert "perf report written to" in capsys.readouterr().out
+
+    def test_default_perf_report_path_is_repo_root_not_cwd(self, tmp_path, monkeypatch):
+        from repro.__main__ import _default_perf_report_path
+
+        monkeypatch.chdir(tmp_path)
+        default = _default_perf_report_path()
+        assert default.name == "BENCH_sweep.json"
+        assert default.parent != tmp_path
+        assert (default.parent / "pytest.ini").exists()
+
+
 class TestConfigCommand:
     def test_list_paths(self, capsys):
         assert main(["config", "--list-paths"]) == 0
