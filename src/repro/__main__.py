@@ -12,6 +12,7 @@ Usage::
     python -m repro sweep [options]     # parallel, cached experiment sweep
     python -m repro merge <manifest>... # fold shard manifests into one result
     python -m repro config [options]    # inspect the configuration space
+    python -m repro workloads [options] # inspect the workload-family registry
 
 Sweep options::
 
@@ -19,8 +20,12 @@ Sweep options::
                           reg-sweep, table1-sensitivity, ...; list them with
                           `config --presets`); later flags override it
     --platforms A,B,...   platform names            (default: the 4 ZnG variants)
-    --workloads W,...     workload tokens: app, read-write mix, or a group
-                          token (mixes/graph/scientific)
+    --workloads W,...     workload tokens: a family (app) name, a read-write
+                          mix, a parameterised instance
+                          (kv-lookup:zipf=1.1,get_ratio=0.9), a recorded
+                          trace (trace:file.json), or a group token
+                          (mixes/graph/scientific/scenarios); tokens are
+                          validated against the registry before any cell runs
                           (default: betw-back,bfs1-gaus,pr-gaus)
     --set path=value,...  labelled config overrides may repeat: --set label:a.b=1,c.d=2
                           values are coerced/validated against the schema
@@ -61,6 +66,23 @@ Config options::
     --diff A B            resolved-config diff between two platforms
     --presets             list the named experiment presets
     --golden              schema-drift golden lines (tests/data regeneration)
+
+Workloads options::
+
+    --list                every registered workload family with suite/params
+    --explain NAME        family card: description, typed parameter schema
+    --golden              catalogue drift-gate lines (regenerate
+                          tests/data/workload_catalog.txt)
+    --record TOKEN        generate TOKEN's trace and persist it as a
+                          content-hashed repro-trace-v1 file (--out FILE;
+                          knob flags --scale/--seed/--sms/--warps/--mem-insts
+                          mirror the sweep defaults, and the trace seed is
+                          derived exactly like a sweep cell's, so replaying
+                          the file reproduces the generating sweep)
+    --replay FILE         load + hash-verify a trace file and print its
+                          provenance; --verify additionally regenerates the
+                          trace from the recorded token/knobs and asserts
+                          the payload is bit-identical
 """
 
 from __future__ import annotations
@@ -593,11 +615,157 @@ def _cmd_config(args: List[str]) -> int:
     return 2
 
 
+def _cmd_workloads(args: List[str]) -> int:
+    """Inspect the workload-family registry; record/replay trace files."""
+    from repro.workloads import registry, tracefile
+
+    usage = ("usage: python -m repro workloads (--list | --explain NAME | "
+             "--golden | --record TOKEN --out FILE [knobs] | "
+             "--replay FILE [--verify])")
+    if not args or args[0] in ("-h", "--help"):
+        print(usage)
+        return 0 if args else 2
+
+    flag = args[0]
+    if flag == "--list":
+        print(f"{'family':22s} {'suite':12s} {'params':>6s}  description")
+        for name in registry.family_names():
+            family = registry.WORKLOAD_FAMILIES[name]
+            print(f"{name:22s} {family.suite:12s} {len(family.params):>6d}  "
+                  f"{family.description}")
+        print(f"{len(registry.WORKLOAD_FAMILIES)} families; group tokens: "
+              f"{', '.join(registry.GROUP_TOKENS)}; parameterised instances "
+              f"as family:param=value,...; replay via trace:<file>")
+        return 0
+
+    if flag == "--golden":
+        for line in registry.catalog_lines():
+            print(line)
+        return 0
+
+    if flag == "--explain":
+        if len(args) < 2:
+            print("usage: python -m repro workloads --explain <family>")
+            return 2
+        try:
+            family = registry.family_by_name(args[1])
+        except KeyError as error:
+            print(error.args[0])
+            return 2
+        print(family.describe())
+        return 0
+
+    if flag == "--record":
+        if len(args) < 2:
+            print("usage: python -m repro workloads --record TOKEN --out FILE "
+                  "[--scale S] [--seed N] [--sms N] [--warps N] [--mem-insts N]")
+            return 2
+        token = args[1]
+        out_path = None
+        # Sweep-default knobs, so a recorded file replays the default sweep.
+        knob_values = {"scale": 0.2, "seed": 1, "sms": 16, "warps": 8,
+                       "mem-insts": 64}
+        index = 2
+        while index < len(args):
+            option = args[index]
+            if index + 1 >= len(args):
+                print(f"missing value for {option}")
+                return 2
+            if option == "--out":
+                out_path = args[index + 1]
+            elif option.startswith("--") and option[2:] in knob_values:
+                name = option[2:]
+                kind = float if name == "scale" else int
+                try:
+                    knob_values[name] = kind(args[index + 1])
+                except ValueError:
+                    print(f"{option} expects a number, got {args[index + 1]!r}")
+                    return 2
+            else:
+                print(f"unknown record option {option!r}")
+                return 2
+            index += 2
+        if out_path is None:
+            print("--record needs --out FILE")
+            return 2
+        try:
+            recorded = tracefile.record_trace(
+                token,
+                out_path,
+                scale=knob_values["scale"],
+                seed=knob_values["seed"],
+                num_sms=knob_values["sms"],
+                warps_per_sm=knob_values["warps"],
+                memory_instructions_per_warp=knob_values["mem-insts"],
+            )
+        except (ValueError, KeyError, OSError) as error:
+            if isinstance(error, OSError):
+                print(f"cannot record trace to {out_path}: {error}")
+            else:
+                print(error.args[0] if error.args else error)
+            return 2
+        trace = recorded.trace
+        print(f"recorded {recorded.workload} -> {out_path}")
+        print(f"  schema:       {tracefile.TRACE_SCHEMA}")
+        print(f"  content hash: {recorded.content_hash}")
+        print(f"  warps:        {len(trace.warps)}")
+        print(f"  instructions: {trace.total_instructions} "
+              f"({trace.total_memory_instructions} memory)")
+        print(f"sweep it with: python -m repro sweep --workloads "
+              f"trace:{out_path}")
+        return 0
+
+    if flag == "--replay":
+        if len(args) < 2:
+            print("usage: python -m repro workloads --replay FILE [--verify]")
+            return 2
+        verify = "--verify" in args[2:]
+        unknown = [a for a in args[2:] if a != "--verify"]
+        if unknown:
+            print(f"unknown replay option {unknown[0]!r}")
+            return 2
+        try:
+            loaded = tracefile.read_trace_file(args[1])
+        except tracefile.TraceFileError as error:
+            print(error.args[0])
+            return 1
+        trace = loaded.trace
+        print(f"{args[1]}: {tracefile.TRACE_SCHEMA} "
+              f"(content hash verified: {loaded.content_hash[:16]}...)")
+        print(f"  workload:     {loaded.workload or '(external trace)'}")
+        print(f"  knobs:        {loaded.knobs}")
+        print(f"  warps:        {len(trace.warps)}")
+        print(f"  instructions: {trace.total_instructions} "
+              f"({trace.total_memory_instructions} memory)")
+        if verify:
+            from repro.workloads.io import trace_to_dict
+
+            try:
+                regenerated = tracefile.regenerate_from_meta(loaded)
+            except (tracefile.TraceFileError, ValueError, KeyError) as error:
+                # KeyError: the recorded token names a family this build no
+                # longer registers — generator drift, the very thing
+                # --verify exists to surface.
+                print(error.args[0] if error.args else error)
+                return 1
+            if trace_to_dict(regenerated) != trace_to_dict(trace):
+                print("VERIFY FAILED: regenerating from the recorded "
+                      "token/knobs does not reproduce the stored trace "
+                      "(generator drift?)")
+                return 1
+            print("  verify:       regenerated trace is bit-identical")
+        return 0
+
+    print(f"unknown workloads option {flag!r}")
+    return 2
+
+
 COMMANDS = {
     "report": _cmd_report,
     "sweep": _cmd_sweep,
     "merge": _cmd_merge,
     "config": _cmd_config,
+    "workloads": _cmd_workloads,
     "fig10": _cmd_fig10,
     "fig11": _cmd_fig11,
     "table1": _cmd_table1,

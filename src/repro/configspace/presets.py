@@ -252,6 +252,34 @@ EXPERIMENT_PRESETS: Dict[str, ExperimentPreset] = {
             memory_instructions_per_warp=SENSITIVITY_MEM_INSTS,
         ),
         ExperimentPreset.create(
+            "scenario-suite",
+            "One instance of every parametric scenario family (kv-lookup, "
+            "embedding-inference, stream-join, multi-tenant) across the "
+            "ZnG variants.",
+            platforms=ZNG_VARIANTS,
+            workloads=("scenarios",),
+            scale=0.15,
+        ),
+        ExperimentPreset.create(
+            "kv-sweep",
+            "kv-lookup Zipf-skew sensitivity (point-read locality, spans "
+            "the alpha >= 1 regime) on ZnG.",
+            platforms=("ZnG",),
+            workloads=tuple(
+                f"kv-lookup:zipf={value}"
+                for value in (0.6, 0.8, 0.99, 1.1, 1.2)),
+            scale=0.2,
+        ),
+        ExperimentPreset.create(
+            "multi-tenant",
+            "Phased multi-tenant arrival process across phase counts "
+            "(1 = static baseline) on ZnG-base vs ZnG.",
+            platforms=("ZnG-base", "ZnG"),
+            workloads=("multi-tenant:phases=1", "multi-tenant:phases=2",
+                       "multi-tenant", "multi-tenant:phases=8"),
+            scale=0.2,
+        ),
+        ExperimentPreset.create(
             "table1-sensitivity",
             "Every declared schema ablation axis, one labelled point per "
             "value, on the ZnG platform.",

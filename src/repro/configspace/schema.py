@@ -436,5 +436,18 @@ class ConfigSchema:
         return out
 
 
+def coerce_value(spec: FieldSpec, value: object) -> object:
+    """Coerce and bounds-check one value against a standalone :class:`FieldSpec`.
+
+    The workload-family registry (:mod:`repro.workloads.registry`) declares
+    its parameters as :class:`FieldSpec` instances too, so family parameters
+    get exactly the same CLI-string coercion, type errors and bounds/choices
+    enforcement as config overrides — one validation engine, two schemas.
+    """
+    coerced = ConfigSchema._coerce_type(spec, value)
+    ConfigSchema._check_bounds(spec, coerced)
+    return coerced
+
+
 #: The schema singleton derived from :class:`repro.config.PlatformConfig`.
 SCHEMA = ConfigSchema.build()

@@ -33,7 +33,11 @@ from repro.platforms.base import PlatformResult
 #:     whose lossy stringification could alias distinct configs; override
 #:     values are schema-coerced before hashing.  Old entries are recomputed,
 #:     never trusted.
-CACHE_VERSION = 3
+#: v4: cell descriptors incorporate the resolved workload fingerprint
+#:     (family parameters / trace-file content hash from
+#:     repro.workloads.registry), so workload-definition changes can never
+#:     alias pre-registry entries.
+CACHE_VERSION = 4
 
 #: A ``*.tmp`` file older than this is an orphan from an interrupted ``put``
 #: (killed between ``mkstemp`` and ``os.replace``) and safe to delete; younger

@@ -21,7 +21,11 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from repro.config import PlatformConfig, default_config
 from repro.configspace.fingerprint import canonical_json
 from repro.configspace.schema import SCHEMA
-from repro.workloads.suites import parse_workload_token, resolve_workload_tokens
+from repro.workloads.registry import (
+    parse_workload_token,
+    resolve_workload_tokens,
+    workload_fingerprint,
+)
 
 #: Override mapping: dotted config path -> value, e.g.
 #: ``{"register_cache.registers_per_plane": 16}``.
@@ -363,11 +367,32 @@ class SweepCell:
 
         return resolve_platform_config(self.platform, self.resolved_config()).config
 
+    def workload_fingerprint(self) -> str:
+        """Content hash of the cell's *resolved* workload.
+
+        Families hash their full resolved parameter mapping (defaults
+        included), ``trace:`` tokens hash the file bytes — see
+        :func:`repro.workloads.registry.workload_fingerprint`.  Memoized on
+        the frozen cell alongside the cache key.
+        """
+        cached = self.__dict__.get("_workload_fingerprint")
+        if cached is None:
+            cached = workload_fingerprint(self.workload)
+            object.__setattr__(self, "_workload_fingerprint", cached)
+        return cached
+
     def descriptor(self) -> Dict[str, object]:
-        """Canonical plain-data form: worker payload and cache-key input."""
+        """Canonical plain-data form: worker payload and cache-key input.
+
+        ``workload_fingerprint`` ties the cache key to the resolved family
+        parameters and trace-file content, not just the token text: a
+        changed family default, an edited catalogue entry or a rewritten
+        trace file all miss the cache (schema v4).
+        """
         return {
             "platform": self.platform,
             "workload": self.workload,
+            "workload_fingerprint": self.workload_fingerprint(),
             "override_label": self.override_set.label,
             "overrides": [[path, value] for path, value in self.override_set.overrides],
             "scale": self.scale,
@@ -413,6 +438,7 @@ class SweepCell:
         """
         return (
             self.workload,
+            self.workload_fingerprint(),
             self.scale,
             self.seed,
             self.num_sms,
@@ -422,25 +448,25 @@ class SweepCell:
 
 
 def build_cell_trace(cell: SweepCell):
-    """Generate the (deterministic) workload trace a cell runs.
+    """Generate (or replay) the deterministic workload trace a cell runs.
 
-    Single-app tokens build one trace; ``read-write`` tokens build the paper's
-    co-run mix with the two applications in disjoint address ranges.
+    Single tokens — family names, parameterised instances, ``trace:<path>``
+    replays — build one trace through the registry; ``read-write`` tokens
+    build the paper's co-run mix with the two applications in disjoint
+    address ranges.
     """
-    from repro.workloads.generators import generate_workload
     from repro.workloads.multiapp import build_mix
-    from repro.workloads.suites import workload_by_name
+    from repro.workloads.registry import TraceKnobs, build_trace
 
     read_app, write_app = parse_workload_token(cell.workload)
     if write_app is None:
-        return generate_workload(
-            workload_by_name(read_app),
+        return build_trace(read_app, TraceKnobs(
             scale=cell.scale,
             seed=cell.seed,
             num_sms=cell.num_sms,
             warps_per_sm=cell.warps_per_sm,
             memory_instructions_per_warp=cell.memory_instructions_per_warp,
-        )
+        ))
     mix = build_mix(
         read_app,
         write_app,

@@ -12,6 +12,29 @@ from repro.workloads.suites import (
 from repro.workloads.multiapp import MultiAppWorkload, build_mix, build_all_mixes
 from repro.workloads.microbench import streaming, pointer_chase, stencil, hammer
 from repro.workloads.io import save_trace, load_trace, dumps, loads
+from repro.workloads.registry import (
+    PARAMETRIC_FAMILIES,
+    WORKLOAD_FAMILIES,
+    TraceKnobs,
+    WorkloadFamily,
+    build_trace,
+    family_by_name,
+    family_names,
+    family_param,
+    parse_workload_token,
+    register_family,
+    resolve_workload,
+    resolve_workload_tokens,
+    workload_fingerprint,
+)
+from repro.workloads.tracefile import (
+    TraceFile,
+    TraceFileError,
+    read_trace_file,
+    record_trace,
+    trace_file_fingerprint,
+    write_trace_file,
+)
 from repro.workloads.graphgen import (
     CSRGraph,
     generate_power_law_graph,
@@ -32,6 +55,25 @@ __all__ = [
     "MultiAppWorkload",
     "build_mix",
     "build_all_mixes",
+    "PARAMETRIC_FAMILIES",
+    "WORKLOAD_FAMILIES",
+    "TraceKnobs",
+    "WorkloadFamily",
+    "build_trace",
+    "family_by_name",
+    "family_names",
+    "family_param",
+    "parse_workload_token",
+    "register_family",
+    "resolve_workload",
+    "resolve_workload_tokens",
+    "workload_fingerprint",
+    "TraceFile",
+    "TraceFileError",
+    "read_trace_file",
+    "record_trace",
+    "trace_file_fingerprint",
+    "write_trace_file",
     "streaming",
     "pointer_chase",
     "stencil",

@@ -85,12 +85,25 @@ class TraceGenerator:
 
     # -- address synthesis ------------------------------------------------------
     def _zipf_rank(self, num_pages: int) -> int:
-        """Draw a popularity rank with a Zipf-like skew."""
+        """Draw a popularity rank with a Zipf-like skew.
+
+        Both branches consume exactly one RNG draw, so traces with
+        ``alpha < 1`` stay bit-identical to the historical generator while
+        ``alpha >= 1`` (kv-style skew) gets a correct truncated-Zipf inverse
+        CDF — the power-law shortcut's exponent flips sign at 1 and would
+        collapse every draw onto the least popular rank.
+        """
         alpha = self.spec.zipf_alpha
         u = self._rng.random()
-        # Inverse-CDF of a truncated power law: cheap and good enough.
-        rank = int(num_pages * (u ** (1.0 / (1.0 - alpha + 1e-9))))
-        return min(num_pages - 1, rank)
+        if alpha < 1.0:
+            # Inverse-CDF of a truncated power law: cheap and good enough.
+            rank = int(num_pages * (u ** (1.0 / (1.0 - alpha + 1e-9))))
+        elif abs(alpha - 1.0) < 1e-9:
+            rank = int(num_pages ** u) - 1
+        else:
+            beta = 1.0 - alpha
+            rank = int(((num_pages ** beta - 1.0) * u + 1.0) ** (1.0 / beta)) - 1
+        return min(num_pages - 1, max(0, rank))
 
     def _hot_page_list(self, count: int, footprint: int, salt: int) -> np.ndarray:
         """Hot pages scattered uniformly over the footprint.

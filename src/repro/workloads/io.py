@@ -49,6 +49,14 @@ def trace_to_dict(trace: WorkloadTrace) -> Dict:
                         "compute_ops": instr.compute_ops,
                         "addresses": instr.addresses,
                         "access": instr.access.value,
+                        # Precomputed coalesced segments must survive the
+                        # round trip: a replayed trace has to drive the
+                        # coalescer through the same fast path as the
+                        # generated one, bit-identically.
+                        "segments": (
+                            list(instr.segments)
+                            if instr.segments is not None else None
+                        ),
                     }
                     for instr in warp.instructions
                 ],
@@ -73,6 +81,12 @@ def trace_from_dict(data: Dict) -> WorkloadTrace:
                     compute_ops=instr_data["compute_ops"],
                     addresses=list(instr_data["addresses"]),
                     access=AccessType(instr_data["access"]),
+                    # Legacy payloads predate segment serialisation; the
+                    # coalescer falls back to re-deriving them.
+                    segments=(
+                        tuple(instr_data["segments"])
+                        if instr_data.get("segments") is not None else None
+                    ),
                 )
             )
         trace.warps.append(warp)

@@ -12,8 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.workloads.generators import PAGE_SIZE, generate_workload
-from repro.workloads.suites import MULTI_APP_MIXES, mix_name, workload_by_name
+from repro.workloads.generators import PAGE_SIZE
+from repro.workloads.suites import MULTI_APP_MIXES, mix_name
 from repro.workloads.trace import WorkloadSpec, WorkloadTrace
 
 
@@ -44,28 +44,32 @@ def build_mix(
     warps_per_sm: int = 4,
     memory_instructions_per_warp: int = 64,
 ) -> MultiAppWorkload:
-    """Generate one co-run mix, e.g. ``build_mix("betw", "back")``."""
-    first_spec = workload_by_name(read_app)
-    second_spec = workload_by_name(write_app)
-    first = generate_workload(
-        first_spec,
+    """Generate one co-run mix, e.g. ``build_mix("betw", "back")``.
+
+    Each half is any registered workload family name — Table II applications
+    as before, parametric families too (``build_mix("kv-lookup", "gaus")``) —
+    built through :func:`repro.workloads.registry.build_trace`, which for
+    Table II names produces exactly the historical generator output.
+    """
+    from repro.workloads.registry import TraceKnobs, build_trace
+
+    first = build_trace(read_app, TraceKnobs(
         scale=scale,
         seed=seed,
         num_sms=num_sms,
         warps_per_sm=warps_per_sm,
         memory_instructions_per_warp=memory_instructions_per_warp,
-    )
+    ))
     # The second application lives above the first one's footprint.
     offset_pages = first.footprint_pages
-    second = generate_workload(
-        second_spec,
+    second = build_trace(write_app, TraceKnobs(
         scale=scale,
         seed=None if seed is None else seed + 1,
         address_space_offset=offset_pages * PAGE_SIZE,
         num_sms=num_sms,
         warps_per_sm=warps_per_sm,
         memory_instructions_per_warp=memory_instructions_per_warp,
-    )
+    ))
     # Re-key the second app's page statistics into the global address space.
     second.page_read_counts = {
         page + offset_pages: count for page, count in second.page_read_counts.items()

@@ -131,8 +131,11 @@ def workload_by_name(name: str) -> WorkloadSpec:
     try:
         return ALL_WORKLOADS[name]
     except KeyError as error:
+        from repro.workloads.registry import _did_you_mean
+
         raise KeyError(
-            f"unknown workload {name!r}; known: {sorted(ALL_WORKLOADS)}"
+            f"unknown workload {name!r}{_did_you_mean(name, ALL_WORKLOADS)}; "
+            f"known: {sorted(ALL_WORKLOADS)}"
         ) from error
 
 
@@ -155,37 +158,22 @@ SUITES: Dict[str, Dict[str, WorkloadSpec]] = {
 def parse_workload_token(token: str) -> Tuple[str, Optional[str]]:
     """Split a workload token into ``(app, co_runner)``.
 
-    ``"betw"`` is a single application, ``"betw-back"`` a co-run mix.  Both
-    halves are validated against the Table II catalogue.
+    Delegates to :func:`repro.workloads.registry.parse_workload_token`, which
+    validates against the full family registry (Table II apps, parametric
+    families, ``trace:`` replays) and matches mix halves longest-prefix-first
+    so family names containing dashes parse correctly.
     """
-    parts = token.split("-")
-    if len(parts) == 1:
-        workload_by_name(parts[0])
-        return parts[0], None
-    if len(parts) == 2:
-        workload_by_name(parts[0])
-        workload_by_name(parts[1])
-        return parts[0], parts[1]
-    raise ValueError(f"malformed workload token {token!r} (use 'app' or 'read-write')")
+    from repro.workloads.registry import parse_workload_token as _parse
+
+    return _parse(token)
 
 
 def resolve_workload_tokens(tokens: Iterable[str]) -> List[str]:
-    """Expand group tokens and validate, preserving order and uniqueness.
+    """Expand group tokens, canonicalise and validate, preserving order.
 
-    ``"mixes"`` expands to all twelve evaluation mixes; a suite name
-    (``"graph"``, ``"scientific"``) expands to its single applications; any
-    other token must be a valid single workload or ``read-write`` mix.
+    Delegates to :func:`repro.workloads.registry.resolve_workload_tokens`;
+    see there for the full token grammar.
     """
-    resolved: List[str] = []
-    for token in tokens:
-        if token == "mixes":
-            expansion = [mix_name(r, w) for r, w in MULTI_APP_MIXES]
-        elif token in SUITES:
-            expansion = sorted(SUITES[token])
-        else:
-            parse_workload_token(token)
-            expansion = [token]
-        for name in expansion:
-            if name not in resolved:
-                resolved.append(name)
-    return resolved
+    from repro.workloads.registry import resolve_workload_tokens as _resolve
+
+    return _resolve(tokens)

@@ -38,6 +38,35 @@ class WorkloadSpec:
     #: Zipf skew of the page popularity distribution.
     zipf_alpha: float = 0.8
 
+    def __post_init__(self) -> None:
+        problems = []
+        if not 0.0 <= self.read_ratio <= 1.0:
+            problems.append(f"read_ratio must be in [0, 1], got {self.read_ratio!r}")
+        if self.kernels < 1:
+            problems.append(f"kernels must be >= 1, got {self.kernels!r}")
+        if self.read_reaccess < 0:
+            problems.append(
+                f"read_reaccess must be >= 0, got {self.read_reaccess!r}")
+        if self.write_redundancy < 0:
+            problems.append(
+                f"write_redundancy must be >= 0, got {self.write_redundancy!r}")
+        if not 0.0 <= self.sequential_fraction <= 1.0:
+            problems.append(
+                f"sequential_fraction must be in [0, 1], "
+                f"got {self.sequential_fraction!r}")
+        if self.compute_per_memory < 0:
+            problems.append(
+                f"compute_per_memory must be >= 0, got {self.compute_per_memory!r}")
+        if self.footprint_pages < 1:
+            problems.append(
+                f"footprint_pages must be >= 1, got {self.footprint_pages!r}")
+        if not 0.0 <= self.zipf_alpha <= 4.0:
+            problems.append(
+                f"zipf_alpha must be in [0, 4], got {self.zipf_alpha!r}")
+        if problems:
+            raise ValueError(
+                f"invalid WorkloadSpec {self.name!r}: " + "; ".join(problems))
+
     @property
     def write_ratio(self) -> float:
         return 1.0 - self.read_ratio

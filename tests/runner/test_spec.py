@@ -216,3 +216,37 @@ class TestOverrideSet:
         a = OverrideSet.create("x", {"b.c": 1, "a.b": 2})
         b = OverrideSet.create("x", {"a.b": 2, "b.c": 1})
         assert a == b
+
+
+class TestWorkloadFingerprintKeys:
+    """Cache keys and trace-memo keys must track the *resolved* workload."""
+
+    def _cell(self, workload, **kwargs):
+        spec = SweepSpec.create(platforms=["ZnG"], workloads=[workload],
+                                scale=0.1, **kwargs)
+        return spec.cells()[0]
+
+    def test_descriptor_carries_the_workload_fingerprint(self):
+        descriptor = self._cell("betw").descriptor()
+        assert descriptor["workload_fingerprint"] == (
+            self._cell("betw").workload_fingerprint())
+
+    def test_family_param_changes_cache_and_trace_keys(self):
+        base = self._cell("kv-lookup")
+        skewed = self._cell("kv-lookup:zipf=1.1")
+        assert base.cache_key() != skewed.cache_key()
+        assert base.trace_key() != skewed.trace_key()
+
+    def test_default_spelling_aliases_to_the_default_cell(self):
+        # Same resolved parameters -> same canonical token -> same keys:
+        # the *benign* direction of aliasing.
+        explicit = self._cell("kv-lookup:zipf=0.99")
+        assert explicit.cache_key() == self._cell("kv-lookup").cache_key()
+
+    def test_table2_apps_accept_parameter_overrides(self):
+        assert (self._cell("betw").cache_key()
+                != self._cell("betw:zipf_alpha=1.0").cache_key())
+
+    def test_mix_fingerprints_feed_the_key(self):
+        assert (self._cell("betw-back").cache_key()
+                != self._cell("betw-gaus").cache_key())

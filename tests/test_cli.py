@@ -300,3 +300,127 @@ class TestConfigCommand:
 
     def test_unknown_option(self, capsys):
         assert main(["config", "--bogus"]) == 2
+
+
+class TestWorkloadsCommand:
+    def test_list(self, capsys):
+        assert main(["workloads", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "kv-lookup" in out and "multi-tenant" in out
+        assert "betw" in out  # Table II apps are families too
+        assert "20 families" in out
+
+    def test_explain(self, capsys):
+        assert main(["workloads", "--explain", "kv-lookup"]) == 0
+        out = capsys.readouterr().out
+        assert "get_ratio" in out and "zipf" in out and "default" in out
+
+    def test_explain_typo_did_you_mean(self, capsys):
+        assert main(["workloads", "--explain", "kv-lokup"]) == 2
+        assert "did you mean kv-lookup" in capsys.readouterr().out
+
+    def test_explain_requires_name(self, capsys):
+        assert main(["workloads", "--explain"]) == 2
+
+    def test_golden(self, capsys):
+        assert main(["workloads", "--golden"]) == 0
+        out = capsys.readouterr().out
+        assert "kv-lookup:zipf\tfloat" in out
+
+    def test_record_and_replay_verify(self, capsys, tmp_path):
+        trace_path = tmp_path / "kv.trace.json"
+        assert main(["workloads", "--record", "kv-lookup:zipf=1.1",
+                     "--out", str(trace_path),
+                     "--scale", "0.05", "--warps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "recorded kv-lookup:zipf=1.1" in out
+        assert trace_path.exists()
+        assert main(["workloads", "--replay", str(trace_path),
+                     "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "content hash verified" in out
+        assert "bit-identical" in out
+
+    def test_record_requires_out(self, capsys):
+        assert main(["workloads", "--record", "betw"]) == 2
+
+    def test_record_bad_token(self, capsys, tmp_path):
+        assert main(["workloads", "--record", "kv-lokup",
+                     "--out", str(tmp_path / "x.json")]) == 2
+        assert "did you mean" in capsys.readouterr().out
+
+    def test_replay_corrupted_file_exits_1(self, capsys, tmp_path):
+        import json
+
+        trace_path = tmp_path / "kv.trace.json"
+        assert main(["workloads", "--record", "kv-lookup",
+                     "--out", str(trace_path),
+                     "--scale", "0.05", "--warps", "2"]) == 0
+        payload = json.loads(trace_path.read_text())
+        payload["trace"]["footprint_pages"] += 1
+        trace_path.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert main(["workloads", "--replay", str(trace_path)]) == 1
+        assert "content-hash verification" in capsys.readouterr().out
+
+    def test_no_args_usage(self, capsys):
+        assert main(["workloads"]) == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_unknown_option(self, capsys):
+        assert main(["workloads", "--bogus"]) == 2
+
+
+class TestParametricSweepCLI:
+    def test_sweep_parameterised_token(self, capsys):
+        assert main([
+            "sweep", "--platforms", "ZnG-base",
+            "--workloads", "kv-lookup:zipf=1.1",
+            "--workers", "1", "--scale", "0.05", "--warps", "2", "--no-cache",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "kv-lookup:zipf=1.1" in out and "1 cells" in out
+
+    def test_sweep_trace_replay_token(self, capsys, tmp_path):
+        trace_path = tmp_path / "mt.trace.json"
+        assert main(["workloads", "--record", "multi-tenant:phases=2",
+                     "--out", str(trace_path),
+                     "--scale", "0.05", "--warps", "2"]) == 0
+        capsys.readouterr()
+        assert main([
+            "sweep", "--platforms", "ZnG-base",
+            "--workloads", f"trace:{trace_path}",
+            "--workers", "1", "--scale", "0.05", "--warps", "2", "--no-cache",
+        ]) == 0
+        assert "1 cells" in capsys.readouterr().out
+
+    def test_sweep_workload_typo_fails_fast_with_hint(self, capsys):
+        # The pre-sweep validation satellite: a typo must die at spec
+        # creation (exit 2, no cells run), with a suggestion.
+        assert main(["sweep", "--workloads", "kv-lokup", "--no-cache"]) == 2
+        assert "did you mean kv-lookup" in capsys.readouterr().out
+
+    def test_sweep_bad_family_param_fails_fast(self, capsys):
+        assert main(["sweep", "--workloads", "kv-lookup:zipf=nope",
+                     "--no-cache"]) == 2
+        assert "expects a float" in capsys.readouterr().out
+
+    def test_scenario_preset_listed(self, capsys):
+        assert main(["config", "--presets"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario-suite" in out and "kv-sweep" in out
+        assert "multi-tenant" in out
+
+    def test_replay_verify_unresolvable_token_exits_1(self, capsys, tmp_path):
+        # A hash-valid archive whose recorded family this build no longer
+        # registers must fail --verify cleanly, not with a traceback.
+        from repro.workloads.registry import TraceKnobs, build_trace
+        from repro.workloads.tracefile import write_trace_file
+
+        trace = build_trace("betw", TraceKnobs(scale=0.05, warps_per_sm=2))
+        trace_path = tmp_path / "old.trace.json"
+        write_trace_file(trace_path, trace, workload="retired-family",
+                         knobs={"scale": 0.05})
+        assert main(["workloads", "--replay", str(trace_path),
+                     "--verify"]) == 1
+        assert "unknown workload" in capsys.readouterr().out

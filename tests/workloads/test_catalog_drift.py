@@ -1,0 +1,38 @@
+"""Workload-catalogue drift gate (CI satellite).
+
+The golden file (``tests/data/workload_catalog.txt``) pins every registered
+workload family and every typed family parameter, mirroring the config-schema
+drift gate: a family or parameter added, removed or re-documented without
+regenerating the golden file fails here with regeneration instructions.
+"""
+
+from pathlib import Path
+
+from repro.workloads.registry import WORKLOAD_FAMILIES, catalog_lines
+
+GOLDEN = Path(__file__).resolve().parent.parent / "data" / "workload_catalog.txt"
+
+REGENERATE = (
+    "regenerate with: PYTHONPATH=src python -m repro workloads --golden "
+    "> tests/data/workload_catalog.txt"
+)
+
+
+def test_catalogue_matches_golden_file():
+    golden = GOLDEN.read_text().splitlines()
+    current = catalog_lines()
+    added = sorted(set(current) - set(golden))
+    removed = sorted(set(golden) - set(current))
+    assert current == golden, (
+        f"workload catalogue drifted from the golden file "
+        f"({len(added)} added/changed, {len(removed)} removed/changed); "
+        f"review the diff and {REGENERATE}\n"
+        f"added:   {[line.split(chr(9))[0] for line in added]}\n"
+        f"removed: {[line.split(chr(9))[0] for line in removed]}"
+    )
+
+
+def test_golden_file_covers_every_family():
+    lines = GOLDEN.read_text().splitlines()
+    family_lines = [line for line in lines if ":" not in line.split("\t")[0]]
+    assert len(family_lines) == len(WORKLOAD_FAMILIES)

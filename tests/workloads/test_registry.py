@@ -1,0 +1,284 @@
+"""Tests for the workload-family registry (repro.workloads.registry)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import registry
+from repro.workloads.registry import (
+    PARAMETRIC_FAMILIES,
+    WORKLOAD_FAMILIES,
+    TraceKnobs,
+    WorkloadFamily,
+    build_trace,
+    canonicalize_token,
+    family_by_name,
+    family_param,
+    parse_workload_token,
+    register_family,
+    resolve_workload,
+    resolve_workload_tokens,
+    workload_fingerprint,
+)
+from repro.workloads.suites import ALL_WORKLOADS, MULTI_APP_MIXES, mix_name
+
+TINY = TraceKnobs(scale=0.05, seed=7, num_sms=4, warps_per_sm=2,
+                  memory_instructions_per_warp=32)
+
+
+class TestRegistryContents:
+    def test_every_table2_app_is_a_family(self):
+        for name in ALL_WORKLOADS:
+            assert name in WORKLOAD_FAMILIES
+
+    def test_four_parametric_scenario_families(self):
+        names = {family.name for family in PARAMETRIC_FAMILIES}
+        assert names == {"kv-lookup", "embedding-inference",
+                         "stream-join", "multi-tenant"}
+
+    def test_every_family_param_documented(self):
+        for family in WORKLOAD_FAMILIES.values():
+            for param in family.params:
+                assert param.unit, f"{family.name}:{param.name} lacks a unit"
+                assert param.doc, f"{family.name}:{param.name} lacks a doc"
+
+    def test_every_registered_default_instance_validates_and_builds(self):
+        # The satellite property: every family's default parameters must
+        # produce a valid WorkloadSpec (no nonsense values sneak in).
+        for name, family in WORKLOAD_FAMILIES.items():
+            trace = family.builder(family.defaults(), TINY)
+            assert trace.warps, name
+            assert trace.total_memory_instructions > 0, name
+
+    def test_register_family_rejects_duplicates_and_reserved_names(self):
+        family = WORKLOAD_FAMILIES["betw"]
+        with pytest.raises(ValueError, match="already registered"):
+            register_family(family)
+        for bad in ("a:b", "a=b", "a,b", "mixes"):
+            broken = WorkloadFamily(
+                name=bad, suite="x", description="d", params=(),
+                builder=family.builder)
+            with pytest.raises(ValueError):
+                register_family(broken)
+
+    def test_family_by_name_did_you_mean(self):
+        with pytest.raises(KeyError, match="did you mean kv-lookup"):
+            family_by_name("kv-lokup")
+
+    def test_unknown_param_did_you_mean(self):
+        with pytest.raises(ValueError, match="did you mean zipf_alpha"):
+            WORKLOAD_FAMILIES["betw"].resolve_params({"zipf": 1.0})
+
+
+class TestTokenParsing:
+    def test_plain_and_mix_tokens_unchanged(self):
+        assert parse_workload_token("betw") == ("betw", None)
+        assert parse_workload_token("betw-back") == ("betw", "back")
+
+    def test_dashed_family_names_parse_as_single(self):
+        # Regression: naive split("-") would break every dashed family name.
+        for name in ("kv-lookup", "embedding-inference", "stream-join",
+                     "multi-tenant"):
+            assert parse_workload_token(name) == (name, None)
+
+    def test_dashed_family_in_a_mix_longest_match(self):
+        assert parse_workload_token("kv-lookup-back") == ("kv-lookup", "back")
+        assert parse_workload_token("stream-join-gaus") == ("stream-join", "gaus")
+        assert parse_workload_token("betw-multi-tenant") == ("betw", "multi-tenant")
+
+    def test_parameterised_token(self):
+        assert parse_workload_token("kv-lookup:zipf=1.1") == (
+            "kv-lookup:zipf=1.1", None)
+
+    def test_unknown_token_fails_with_hint(self):
+        with pytest.raises(KeyError, match="did you mean"):
+            parse_workload_token("strem-join")
+
+    def test_malformed_param_suffix(self):
+        with pytest.raises(ValueError, match="expected name=value"):
+            parse_workload_token("kv-lookup:zipf")
+        with pytest.raises(ValueError):
+            parse_workload_token("kv-lookup:")
+
+    def test_out_of_range_param_rejected(self):
+        with pytest.raises(ValueError, match="must be <="):
+            parse_workload_token("kv-lookup:get_ratio=1.5")
+
+    def test_canonicalisation_sorts_and_drops_defaults(self):
+        assert canonicalize_token("kv-lookup:zipf=0.99") == "kv-lookup"
+        assert canonicalize_token(
+            "kv-lookup:zipf=1.1,get_ratio=0.95") == "kv-lookup:zipf=1.1"
+        assert canonicalize_token(
+            "kv-lookup:zipf=1.1,get_ratio=0.9") == (
+                "kv-lookup:get_ratio=0.9,zipf=1.1")
+
+    def test_coerced_values_canonicalise_identically(self):
+        assert (canonicalize_token("kv-lookup:zipf=1.10")
+                == canonicalize_token("kv-lookup:zipf=1.1"))
+
+
+class TestTokenResolution:
+    def test_group_tokens(self):
+        assert resolve_workload_tokens(["mixes"]) == [
+            mix_name(r, w) for r, w in MULTI_APP_MIXES]
+        assert resolve_workload_tokens(["scenarios"]) == [
+            "kv-lookup", "embedding-inference", "stream-join", "multi-tenant"]
+
+    def test_order_preserving_dedupe(self):
+        tokens = resolve_workload_tokens(
+            ["kv-lookup", "kv-lookup:zipf=0.99", "betw"])
+        assert tokens == ["kv-lookup", "betw"]
+
+    def test_typo_fails_before_any_cell(self):
+        with pytest.raises(KeyError, match="did you mean"):
+            resolve_workload_tokens(["betw-back", "kv-lokup"])
+
+
+class TestFingerprints:
+    def test_param_change_changes_fingerprint(self):
+        assert (workload_fingerprint("kv-lookup")
+                != workload_fingerprint("kv-lookup:zipf=1.1"))
+
+    def test_equal_resolutions_share_a_fingerprint(self):
+        assert (workload_fingerprint("kv-lookup")
+                == workload_fingerprint("kv-lookup:zipf=0.99"))
+
+    def test_mix_fingerprint_depends_on_both_halves(self):
+        base = workload_fingerprint("betw-back")
+        assert base != workload_fingerprint("betw-gaus")
+        assert base != workload_fingerprint("bfs1-back")
+
+    @settings(max_examples=25, deadline=None)
+    @given(zipf=st.floats(min_value=0.0, max_value=4.0,
+                          allow_nan=False, allow_infinity=False),
+           ratio=st.floats(min_value=0.0, max_value=1.0,
+                           allow_nan=False, allow_infinity=False))
+    def test_fingerprint_injective_over_params(self, zipf, ratio):
+        # No cache aliasing: distinct resolved parameter mappings must never
+        # share a fingerprint; identical ones must.
+        token = f"kv-lookup:zipf={zipf},get_ratio={ratio}"
+        resolved = resolve_workload(token)
+        default = resolve_workload("kv-lookup")
+        if resolved.params == default.params:
+            assert resolved.fingerprint() == default.fingerprint()
+        else:
+            assert resolved.fingerprint() != default.fingerprint()
+
+
+class TestBuildTrace:
+    def test_catalogue_builds_are_bit_identical_to_the_generator(self):
+        from repro.workloads.generators import generate_workload
+        from repro.workloads.io import trace_to_dict
+        from repro.workloads.suites import workload_by_name
+
+        direct = generate_workload(
+            workload_by_name("betw"), scale=TINY.scale, seed=TINY.seed,
+            num_sms=TINY.num_sms, warps_per_sm=TINY.warps_per_sm,
+            memory_instructions_per_warp=TINY.memory_instructions_per_warp)
+        via_registry = build_trace("betw", TINY)
+        assert trace_to_dict(via_registry) == trace_to_dict(direct)
+
+    def test_kv_lookup_tracks_get_ratio(self):
+        trace = build_trace("kv-lookup:get_ratio=0.5",
+                            TraceKnobs(scale=0.3, seed=3, warps_per_sm=4))
+        assert 0.35 <= trace.measured_read_ratio <= 0.65
+
+    def test_embedding_inference_is_read_only_gathers(self):
+        trace = build_trace("embedding-inference", TINY)
+        assert trace.measured_read_ratio == 1.0
+        assert not trace.page_write_counts
+
+    def test_multi_tenant_behaviour_changes_over_the_trace(self):
+        # The defining property of the phased family: the read/write mix of
+        # the first half of each warp differs from the second half.
+        trace = build_trace(
+            "multi-tenant:phases=2,read_ratio_hot=1.0,read_ratio_cold=0.0",
+            TraceKnobs(scale=0.5, seed=3, warps_per_sm=2,
+                       memory_instructions_per_warp=64))
+        for warp in trace.warps:
+            half = len(warp.instructions) // 2
+            first = [i for i in warp.instructions[:half] if i.is_memory]
+            second = [i for i in warp.instructions[half:] if i.is_memory]
+            assert all(i.access.is_read for i in first)
+            assert all(i.access.is_write for i in second)
+
+    def test_phase_count_changes_the_trace(self):
+        from repro.workloads.io import trace_to_dict
+
+        two = build_trace("multi-tenant:phases=2", TINY)
+        four = build_trace("multi-tenant:phases=4", TINY)
+        assert trace_to_dict(two) != trace_to_dict(four)
+
+    def test_stream_join_alternates_scan_and_probe(self):
+        seq = build_trace("stream-join:phases=1", TINY)
+        alt = build_trace("stream-join:phases=4", TINY)
+        # Phase 0 is the scan profile; adding probe phases must reduce the
+        # measured sequentiality.
+        assert seq.spec.sequential_fraction > alt.spec.sequential_fraction
+
+    def test_deterministic_for_fixed_seed(self):
+        from repro.workloads.io import trace_to_dict
+
+        assert (trace_to_dict(build_trace("stream-join", TINY))
+                == trace_to_dict(build_trace("stream-join", TINY)))
+
+    def test_high_zipf_alpha_skews_toward_hot_pages(self):
+        # Regression for the alpha >= 1 regime: the old inverse-CDF shortcut
+        # collapsed every draw onto the least popular page.
+        knobs = TraceKnobs(scale=0.5, seed=11, warps_per_sm=4,
+                           memory_instructions_per_warp=64)
+        skewed = build_trace("kv-lookup:zipf=1.5", knobs)
+        uniform = build_trace("kv-lookup:zipf=0.0", knobs)
+        top = max(skewed.page_read_counts.values())
+        assert top > max(uniform.page_read_counts.values())
+
+
+class TestSweepIntegration:
+    def test_parametric_workloads_sweep_cached_and_sharded(self, tmp_path):
+        from repro.runner import SweepRunner, SweepSpec
+
+        spec = SweepSpec.create(
+            platforms=["ZnG-base", "ZnG"],
+            workloads=["kv-lookup:zipf=1.1", "multi-tenant:phases=2"],
+            scale=0.05, warps_per_sm=2)
+        runner = SweepRunner(workers=1, cache=tmp_path)
+        serial = runner.run(spec)
+        assert len(serial) == 4 and serial.cache_hits == 0
+        cached = runner.run(spec)
+        assert cached.cache_hits == 4
+        assert serial.stats_dicts() == cached.stats_dicts()
+        # Shards of the grid union back to the full spec, exactly.
+        shard_cells = [cell.cache_key()
+                       for index in range(2)
+                       for cell in spec.shard(index, 2).cells()]
+        assert sorted(shard_cells) == sorted(
+            cell.cache_key() for cell in spec.cells())
+
+    def test_mix_with_parametric_half_runs(self):
+        from repro.runner import SweepSpec, run_sweep
+
+        result = run_sweep(SweepSpec.create(
+            platforms=["ZnG"], workloads=["kv-lookup-back"],
+            scale=0.05, warps_per_sm=2))
+        assert result.runs[0].result.cycles > 0
+
+
+class TestPhasedBudgetSplit:
+    def test_phases_beyond_the_budget_are_skipped_not_doubled(self):
+        # Review regression: phases > memory budget used to give every phase
+        # max(1, ...) instructions, doubling the declared budget.
+        knobs = TraceKnobs(scale=1.0, seed=5, num_sms=2, warps_per_sm=2,
+                           memory_instructions_per_warp=16)
+        sixteen = build_trace("multi-tenant:phases=16", knobs)
+        thirty_two = build_trace("multi-tenant:phases=32", knobs)
+        assert (thirty_two.total_memory_instructions
+                == sixteen.total_memory_instructions)
+
+    def test_non_dividing_split_keeps_the_declared_total(self):
+        # 3 phases over 30 insts: 10+10+10, not 3 * (30 // 3 rounded down
+        # elsewhere); remainder cases spread over the leading phases.
+        knobs = TraceKnobs(scale=1.0, seed=5, num_sms=2, warps_per_sm=1,
+                           memory_instructions_per_warp=31)
+        trace = build_trace("stream-join:phases=3", knobs)
+        per_warp = trace.total_memory_instructions // len(trace.warps)
+        assert per_warp == 31

@@ -74,3 +74,26 @@ class TestSpecProperties:
     def test_is_read_intensive(self):
         assert workload_by_name("deg").is_read_intensive
         assert not workload_by_name("back").is_read_intensive
+
+
+class TestTokenDelegation:
+    """suites-level token helpers delegate to the registry grammar."""
+
+    def test_parse_workload_token_handles_dashed_family_names(self):
+        # Regression: the historical split("-") parser broke on any family
+        # name containing a dash.
+        from repro.workloads.suites import parse_workload_token
+
+        assert parse_workload_token("kv-lookup") == ("kv-lookup", None)
+        assert parse_workload_token("kv-lookup-back") == ("kv-lookup", "back")
+        assert parse_workload_token("betw-back") == ("betw", "back")
+
+    def test_resolve_workload_tokens_expands_suites(self):
+        from repro.workloads.suites import resolve_workload_tokens
+
+        assert resolve_workload_tokens(["graph"]) == sorted(GRAPH_WORKLOADS)
+        assert "kv-lookup" in resolve_workload_tokens(["scenarios"])
+
+    def test_workload_by_name_did_you_mean(self):
+        with pytest.raises(KeyError, match="did you mean betw"):
+            workload_by_name("betww")

@@ -1,0 +1,79 @@
+"""WorkloadSpec value validation (the nonsense-values satellite)."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.registry import WORKLOAD_FAMILIES
+from repro.workloads.suites import ALL_WORKLOADS
+from repro.workloads.trace import WorkloadSpec
+
+
+def _valid_spec(**overrides):
+    base = dict(name="probe", suite="test", read_ratio=0.9, kernels=2,
+                read_reaccess=10.0, write_redundancy=5.0)
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value,message", [
+        ("read_ratio", 1.5, "read_ratio must be in"),
+        ("read_ratio", -0.1, "read_ratio must be in"),
+        ("kernels", 0, "kernels must be >= 1"),
+        ("read_reaccess", -1.0, "read_reaccess must be >= 0"),
+        ("write_redundancy", -5.0, "write_redundancy must be >= 0"),
+        ("sequential_fraction", 1.2, "sequential_fraction must be in"),
+        ("compute_per_memory", -1, "compute_per_memory must be >= 0"),
+        ("footprint_pages", 0, "footprint_pages must be >= 1"),
+        ("zipf_alpha", -0.5, "zipf_alpha must be in"),
+        ("zipf_alpha", 5.0, "zipf_alpha must be in"),
+    ])
+    def test_nonsense_values_raise_precisely(self, field, value, message):
+        with pytest.raises(ValueError, match=message.replace("[", r"\[")):
+            _valid_spec(**{field: value})
+
+    def test_error_names_the_spec_and_lists_every_problem(self):
+        with pytest.raises(ValueError) as excinfo:
+            _valid_spec(read_ratio=2.0, footprint_pages=0)
+        text = str(excinfo.value)
+        assert "'probe'" in text
+        assert "read_ratio" in text and "footprint_pages" in text
+
+    def test_boundary_values_accepted(self):
+        _valid_spec(read_ratio=0.0)
+        _valid_spec(read_ratio=1.0)
+        _valid_spec(sequential_fraction=0.0, zipf_alpha=0.0)
+        _valid_spec(footprint_pages=1, kernels=1, compute_per_memory=0)
+
+    def test_replace_revalidates(self):
+        spec = _valid_spec()
+        with pytest.raises(ValueError, match="read_ratio"):
+            dataclasses.replace(spec, read_ratio=3.0)
+
+    def test_every_catalogue_spec_validates(self):
+        # Constructing them at import time already proves this; keep an
+        # explicit probe so a relaxed validator cannot silently regress.
+        for name, spec in ALL_WORKLOADS.items():
+            WorkloadSpec(**dataclasses.asdict(spec))
+
+    @settings(max_examples=50, deadline=None)
+    @given(name=st.sampled_from(sorted(WORKLOAD_FAMILIES)),
+           data=st.data())
+    def test_every_family_rejects_out_of_bounds_params(self, name, data):
+        # Property: any bounded numeric family parameter refuses values just
+        # outside its declared range.
+        family = WORKLOAD_FAMILIES[name]
+        bounded = [p for p in family.params
+                   if p.minimum is not None or p.maximum is not None]
+        if not bounded:
+            return
+        param = data.draw(st.sampled_from(bounded))
+        if param.maximum is not None:
+            bad = param.maximum + 1
+        else:
+            bad = param.minimum - 1
+        with pytest.raises(ValueError):
+            family.resolve_params({param.name: bad})
