@@ -3,6 +3,8 @@
 Usage::
 
     python -m repro report              # full textual reproduction report
+    python -m repro report <manifest>.. # full artifact set (CSVs/HTML/plots)
+    python -m repro report --golden     # rewrite tests/data/report/ goldens
     python -m repro fig10               # normalised IPC table (Figure 10)
     python -m repro fig11               # flash-array bandwidth (Figure 11)
     python -m repro table1              # system configuration (Table I)
@@ -48,6 +50,25 @@ Sweep options::
                           cache time split and write it to BENCH_sweep.json
     --perf-report-path F  where to write the perf report (default: the repo
                           root's BENCH_sweep.json, wherever you run from)
+
+Report options (after one or more manifest paths)::
+
+    --out DIR             artifact directory        (default: report-out)
+    --check               diff the emitted CSVs byte-for-byte against the
+                          goldens in tests/data/report/; exit 1 on any drift
+    --no-plots            skip matplotlib plots (they are skipped with a
+                          note automatically when matplotlib is missing)
+    --no-html             emit only the CSVs
+    --bench-history FILE  bench-trajectory source (default: the repo root's
+                          BENCH_sweep.json and its git history)
+    --golden              instead of reading manifests, re-run the canonical
+                          fixed-seed golden sweep (the CI fig10 grid) and
+                          rewrite the CSV goldens under tests/data/report/
+    --workers N           worker processes for --golden (default: 1)
+
+The emitted CSVs are canonical (shortest round-trip float repr, LF
+newlines), so a report over merged shard manifests is byte-identical to
+one over the same sweep run serially — that is what --check gates.
 
 Merge options (after one or more manifest paths)::
 
@@ -97,9 +118,120 @@ from repro.analysis.tables import table_1_configuration, table_2_workloads
 from repro.analysis.validation import validate_all
 
 
+def _is_float(text: str) -> bool:
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True
+
+
 def _cmd_report(args: List[str]) -> int:
-    scale = float(args[0]) if args else 0.15
-    print(generate_report(scale=scale, mixes=[("betw", "back"), ("bfs1", "gaus")]))
+    """Textual report (legacy), or the full artifact set from manifests.
+
+    ``report`` / ``report 0.2`` keep printing the textual reproduction
+    report.  With manifest paths (or ``--golden``) the command becomes the
+    artifact generator: CSVs + HTML (+ optional plots) into ``--out``,
+    golden regeneration, and the drift gate (``--check``).
+    """
+    if not args or (len(args) == 1 and _is_float(args[0])):
+        scale = float(args[0]) if args else 0.15
+        print(generate_report(scale=scale,
+                              mixes=[("betw", "back"), ("bfs1", "gaus")]))
+        return 0
+
+    from repro.analysis import reporting
+
+    manifest_paths: List[str] = []
+    out_dir = "report-out"
+    golden = False
+    check = False
+    plots = True
+    html_report = True
+    bench_path = None
+    workers = 1
+    index = 0
+    while index < len(args):
+        flag = args[index]
+        if flag in ("--golden", "--check", "--no-plots", "--no-html"):
+            if flag == "--golden":
+                golden = True
+            elif flag == "--check":
+                check = True
+            elif flag == "--no-plots":
+                plots = False
+            else:
+                html_report = False
+            index += 1
+            continue
+        if flag.startswith("--") and index + 1 >= len(args):
+            print(f"missing value for {flag}")
+            return 2
+        if flag == "--out":
+            out_dir = args[index + 1]
+            index += 2
+        elif flag == "--bench-history":
+            bench_path = args[index + 1]
+            index += 2
+        elif flag == "--workers":
+            try:
+                workers = int(args[index + 1])
+            except ValueError:
+                print(f"--workers expects a number, got {args[index + 1]!r}")
+                return 2
+            index += 2
+        elif flag.startswith("--"):
+            print(f"unknown report option {flag!r}")
+            return 2
+        else:
+            manifest_paths.append(flag)
+            index += 1
+
+    if golden:
+        # Re-derive the canonical fixed-seed sweep and rewrite the goldens.
+        if manifest_paths:
+            print("--golden re-runs the canonical golden sweep; "
+                  "drop the manifest paths")
+            return 2
+        written = reporting.write_goldens(workers=workers)
+        for name in sorted(written):
+            print(f"golden written: {written[name]}")
+        print("commit the refreshed goldens under tests/data/report/")
+        return 0
+
+    if not manifest_paths:
+        print("usage: python -m repro report <manifest.json>... [--out DIR] "
+              "[--check] [--no-plots] [--no-html] [--bench-history FILE]\n"
+              "       python -m repro report --golden   (rewrite CSV goldens)\n"
+              "       python -m repro report [scale]    (textual report)")
+        return 2
+
+    from repro.runner import ManifestError
+
+    try:
+        written = reporting.report_from_manifests(
+            manifest_paths, out_dir, plots=plots, html_report=html_report,
+            bench_path=bench_path)
+    except ManifestError as error:
+        print(f"report failed: {error.args[0] if error.args else error}")
+        return 1
+    except reporting.ReportError as error:
+        print(f"report failed: {error.args[0]}")
+        return 1
+    for name in sorted(written):
+        print(f"wrote {written[name]}")
+
+    if check:
+        golden_dir = reporting.default_golden_dir()
+        drift = reporting.compare_csv_dirs(out_dir, golden_dir)
+        if drift:
+            for message in drift:
+                print(f"GOLDEN DRIFT: {message}")
+            print(f"{len(drift)} golden mismatch(es) against {golden_dir}; "
+                  f"if intentional, regenerate with "
+                  f"`python -m repro report --golden`")
+            return 1
+        print(f"golden gate passed: CSVs byte-identical to {golden_dir}")
     return 0
 
 
@@ -126,10 +258,14 @@ def _cmd_table1(args: List[str]) -> int:
 
 
 def _cmd_table2(args: List[str]) -> int:
-    print(f"{'workload':8s} {'suite':12s} {'read_ratio':>10s} {'kernels':>8s}")
-    for row in table_2_workloads():
-        print(f"{row['workload']:8s} {row['suite']:12s} "
-              f"{row['read_ratio']:>10.2f} {row['kernels']:>8d}")
+    from repro.analysis.report import format_records_table
+
+    print(format_records_table(
+        "Table II — workload families",
+        ["workload", "suite", "read_ratio", "kernels", "params"],
+        table_2_workloads(),
+        formats={"read_ratio": "{:.2f}"},
+    ))
     return 0
 
 

@@ -20,7 +20,21 @@ from repro.analysis.figures import (
     figure_11,
 )
 from repro.analysis.tables import table_1_configuration, table_2_workloads
-from repro.analysis.report import format_figure_table, render_report
+from repro.analysis.report import (
+    format_figure_table,
+    format_records_table,
+    render_report,
+)
+from repro.analysis.reporting import (
+    ReportError,
+    canonical_number,
+    compare_csv_dirs,
+    report_from_manifests,
+    report_tables,
+    write_csv,
+    write_goldens,
+    write_report,
+)
 
 __all__ = [
     "normalized_ipc",
@@ -41,5 +55,14 @@ __all__ = [
     "table_1_configuration",
     "table_2_workloads",
     "format_figure_table",
+    "format_records_table",
     "render_report",
+    "ReportError",
+    "canonical_number",
+    "compare_csv_dirs",
+    "report_from_manifests",
+    "report_tables",
+    "write_csv",
+    "write_goldens",
+    "write_report",
 ]

@@ -10,7 +10,11 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis import figures, tables
-from repro.analysis.report import format_figure_table, render_report
+from repro.analysis.report import (
+    format_figure_table,
+    format_records_table,
+    render_report,
+)
 
 
 def _table1_section() -> str:
@@ -23,14 +27,15 @@ def _table1_section() -> str:
 
 
 def _table2_section() -> str:
-    lines = ["Table II — GPU benchmarks", "=" * 25]
-    lines.append(f"{'workload':8s} {'suite':12s} {'read_ratio':>10s} {'kernels':>8s}")
-    for row in tables.table_2_workloads():
-        lines.append(
-            f"{row['workload']:8s} {row['suite']:12s} "
-            f"{row['read_ratio']:>10.2f} {row['kernels']:>8d}"
-        )
-    return "\n".join(lines)
+    # Rows come from the workload registry (all families, parametric ones
+    # included) and column widths from the data, so dashed family names like
+    # ``kv-lookup`` neither truncate nor misalign.
+    return format_records_table(
+        "Table II — workload families",
+        ["workload", "suite", "read_ratio", "kernels", "params"],
+        tables.table_2_workloads(),
+        formats={"read_ratio": "{:.2f}"},
+    )
 
 
 def generate_report(
@@ -74,14 +79,54 @@ def generate_report(
             "{:.1f}",
         ),
     ]
-    # Figure 10 (normalised IPC) as a multi-column table.
-    fig10 = figures.figure_10(scale=scale, mixes=quick_mixes)
-    sections.append(format_figure_table("Figure 10 — Normalised IPC (to ZnG)", fig10, "{:.3f}"))
-    fig11 = figures.figure_11(scale=scale, mixes=quick_mixes)
-    sections.append(
-        format_figure_table("Figure 11 — Flash-array bandwidth (GB/s)", fig11, "{:.2f}")
-    )
+    sections.extend(result_sections(_evaluation_result(scale, quick_mixes)))
     return render_report(sections)
+
+
+def _evaluation_result(scale: float, mixes: Sequence[Tuple[str, str]]):
+    """One sweep-runner pass over the evaluation grid (platforms x mixes).
+
+    Figures 10 and 11 used to each run their own grid; deriving both from a
+    single :class:`~repro.runner.runner.SweepResult` halves the simulation
+    work and routes the textual report through the same ``*_from_result``
+    pivots the CSV/HTML artifact reports use.
+    """
+    from repro.platforms.zng import PLATFORM_NAMES
+    from repro.runner import SweepSpec, run_sweep
+    from repro.workloads.suites import mix_name
+
+    spec = SweepSpec.create(
+        platforms=PLATFORM_NAMES,
+        workloads=[mix_name(read, write) for read, write in mixes],
+        scale=scale,
+    )
+    return run_sweep(spec, workers=1, cache=False)
+
+
+#: Figure 11 plots only the flash-backed platforms.
+_FLASH_PLATFORMS = ["HybridGPU", "ZnG-base", "ZnG-rdopt", "ZnG-wropt", "ZnG"]
+
+
+def result_sections(result) -> List[str]:
+    """Figure 10/11 sections rendered from an already-run sweep result.
+
+    Works for a live sweep and for one folded together by ``repro merge``
+    alike, so the textual report and the ``repro report`` artifacts always
+    agree on the numbers.
+    """
+    flash = [p for p in _FLASH_PLATFORMS if p in result.spec.platforms] or None
+    return [
+        format_figure_table(
+            "Figure 10 — Normalised IPC (to ZnG)",
+            figures.figure_10_from_result(result),
+            "{:.3f}",
+        ),
+        format_figure_table(
+            "Figure 11 — Flash-array bandwidth (GB/s)",
+            figures.figure_11_from_result(result, platforms=flash),
+            "{:.2f}",
+        ),
+    ]
 
 
 def main() -> None:  # pragma: no cover - CLI entry point

@@ -5,7 +5,6 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.config import PlatformConfig, default_config
-from repro.workloads.suites import ALL_WORKLOADS
 
 
 def table_1_configuration(config: Optional[PlatformConfig] = None) -> Dict[str, Dict[str, object]]:
@@ -53,15 +52,27 @@ def table_1_configuration(config: Optional[PlatformConfig] = None) -> Dict[str, 
 
 
 def table_2_workloads() -> List[Dict[str, object]]:
-    """Table II: workload names, suites, read ratios and kernel counts."""
+    """Table II: every registered workload family, not just the paper's 16.
+
+    Rows come from the workload registry, so a newly registered family shows
+    up here (and in ``repro table2``) with no further wiring.  The sixteen
+    Table II applications report their paper-recorded read ratio and kernel
+    count (their family defaults); parametric scenario families without
+    those knobs carry ``None``.
+    """
+    from repro.workloads.registry import WORKLOAD_FAMILIES, family_names
+
     rows: List[Dict[str, object]] = []
-    for name, spec in sorted(ALL_WORKLOADS.items()):
+    for name in family_names():
+        family = WORKLOAD_FAMILIES[name]
+        defaults = family.defaults()
         rows.append(
             {
                 "workload": name,
-                "suite": spec.suite,
-                "read_ratio": spec.read_ratio,
-                "kernels": spec.kernels,
+                "suite": family.suite,
+                "read_ratio": defaults.get("read_ratio"),
+                "kernels": defaults.get("kernels"),
+                "params": len(family.params),
             }
         )
     return rows

@@ -201,6 +201,23 @@ class RunManifest:
             out[cell.status] += 1
         return out
 
+    def provenance(self) -> Dict[str, object]:
+        """A flat summary for report headers: where these numbers came from.
+
+        Purely derived from already-persisted fields — the v1 on-disk schema
+        is unchanged.
+        """
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "spec_fingerprint": self.spec_fingerprint,
+            "shard": f"{self.shard_index + 1}/{self.shard_count}",
+            "cells": len(self.cells),
+            "counts": self.counts(),
+            "cache_dir": self.cache_dir,
+            "elapsed_seconds": self.elapsed_seconds,
+            "path": str(self.path) if self.path is not None else "",
+        }
+
     # ------------------------------------------------------------------
     def to_payload(self) -> Dict[str, object]:
         return {

@@ -5,8 +5,12 @@ import pytest
 from repro.analysis.fullreport import generate_report
 
 
-def test_report_contains_all_sections():
-    report = generate_report(scale=0.05, mixes=[("betw", "back")])
+@pytest.fixture(scope="module")
+def report():
+    return generate_report(scale=0.05, mixes=[("betw", "back")])
+
+
+def test_report_contains_all_sections(report):
     for marker in [
         "Table I", "Table II", "Figure 1b", "Figure 3a", "Figure 3b",
         "Figure 4c", "Figure 5a", "Figure 5b", "Figure 5c",
@@ -14,6 +18,17 @@ def test_report_contains_all_sections():
     ]:
         assert marker in report
 
-    def test_report_is_nonempty_text():
-        report = generate_report(scale=0.05, mixes=[("betw", "back")])
-        assert len(report.splitlines()) > 30
+
+def test_report_is_nonempty_text(report):
+    # This assertion used to be nested inside the previous test and never ran.
+    assert len(report.splitlines()) > 30
+
+
+def test_result_sections_match_generate_report(report):
+    """The shared result-derived sections are exactly what the report embeds."""
+    from repro.analysis.fullreport import _evaluation_result, result_sections
+
+    sections = result_sections(_evaluation_result(0.05, [("betw", "back")]))
+    assert len(sections) == 2
+    for section in sections:
+        assert section in report

@@ -174,8 +174,8 @@ class TestStreamingHistogram:
         assert histogram.minimum == min(values)
         assert histogram.maximum == max(values)
         # The extremes stay exact even when the reservoir subsampled.
-        assert histogram.percentile(0.0) >= min(values)
-        assert histogram.percentile(1.0) <= max(values)
+        assert histogram.percentile(0.0) == min(values)
+        assert histogram.percentile(1.0) == max(values)
 
     def test_state_roundtrip_is_exact_and_resumable(self):
         original = Histogram("lat", reservoir_size=32)
@@ -239,6 +239,157 @@ class TestStreamingHistogram:
             b.add(value)
         a.merge(b)
         assert a.state_dict() == b.state_dict()
+
+    def test_merge_into_empty_keeps_own_identity(self):
+        """An empty merge target keeps its reservoir capacity and RNG stream.
+
+        The old path ``load_state(other.state_dict())`` silently adopted the
+        *other* histogram's ``reservoir_size`` and RNG state, so the merged
+        result depended on which operand happened to be empty.
+        """
+        small_source = Histogram("src", reservoir_size=8)
+        for i in range(100):
+            small_source.add(float(i))
+        target = Histogram("dst", reservoir_size=64)
+        own_rng = target.state_dict()["rng_state"]
+        target.merge(small_source)
+        assert target.reservoir_size == 64
+        assert target.state_dict()["rng_state"] == own_rng
+        assert target.count == 100
+        assert target.minimum == 0.0 and target.maximum == 99.0
+        # add() relies on len(reservoir) == min(count, reservoir_size).
+        assert len(target.samples) == min(target.count, target.reservoir_size)
+        for i in range(200):
+            target.add(float(i))  # must not raise or overflow the reservoir
+        assert len(target.samples) <= target.reservoir_size
+
+    def test_merge_fresh_vs_restored_bit_identical(self):
+        """Merging a restored histogram must equal merging the original."""
+        import json
+
+        source = Histogram("a", reservoir_size=16)
+        for i in range(500):
+            source.add(float((i * 13) % 271))
+        other = Histogram("b", reservoir_size=16)
+        for i in range(120):
+            other.add(float(i) * 2.5)
+
+        fresh = Histogram("a", reservoir_size=16)
+        for i in range(500):
+            fresh.add(float((i * 13) % 271))
+        restored = Histogram("a", reservoir_size=16)
+        restored.load_state(json.loads(json.dumps(source.state_dict())))
+
+        fresh.merge(other)
+        restored.merge(other)
+        assert fresh.state_dict() == restored.state_dict()
+
+    def test_merge_never_overfills_reservoir(self):
+        """len(reservoir) stays min(count, size) even for lopsided merges."""
+        subsampled = Histogram("s", reservoir_size=4)
+        for i in range(10):
+            subsampled.add(float(i))
+        target = Histogram("t", reservoir_size=64)
+        target.add(1.0)
+        target.add(2.0)
+        target.merge(subsampled)
+        assert target.count == 12
+        assert len(target.samples) == min(target.count, target.reservoir_size)
+        for i in range(100):
+            target.add(float(i))
+        assert len(target.samples) <= target.reservoir_size
+        assert target.count == 112
+
+    @given(
+        streams=st.lists(
+            st.lists(st.floats(min_value=-1e6, max_value=1e6),
+                     min_size=0, max_size=60),
+            min_size=2, max_size=3,
+        ),
+        size=st.sampled_from([4, 16, 2048]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_commutes_and_associates_on_retained_aggregates(
+        self, streams, size
+    ):
+        """count/total/min/max agree for any merge order; reservoirs agree
+        as multisets for commuted operands."""
+
+        def build(stream):
+            histogram = Histogram("p", reservoir_size=size)
+            for value in stream:
+                histogram.add(value)
+            return histogram
+
+        def aggregates(histogram):
+            return (histogram.count, histogram.minimum, histogram.maximum,
+                    pytest.approx(histogram.total, rel=1e-9, abs=1e-6))
+
+        left = build(streams[0])
+        for stream in streams[1:]:
+            left.merge(build(stream))
+        right_tail = build(streams[-1])
+        for stream in reversed(streams[:-1]):
+            tail_owner = build(stream)
+            tail_owner.merge(right_tail)
+            right_tail = tail_owner
+        assert aggregates(left) == aggregates(right_tail)
+
+        ab, ba = build(streams[0]), build(streams[1])
+        ab.merge(build(streams[1]))
+        ba.merge(build(streams[0]))
+        assert aggregates(ab) == aggregates(ba)
+        assert sorted(ab.samples) == sorted(ba.samples)
+
+    @given(
+        stream_a=st.lists(st.floats(min_value=0, max_value=1e6),
+                          min_size=1, max_size=80),
+        stream_b=st.lists(st.floats(min_value=0, max_value=1e6),
+                          min_size=0, max_size=80),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_deterministic_across_state_roundtrip(self, stream_a, stream_b):
+        """merge(load(save(A)), load(save(B))) == merge(A, B), bit for bit."""
+        import json
+
+        def build(name, stream):
+            histogram = Histogram(name, reservoir_size=8)
+            for value in stream:
+                histogram.add(value)
+            return histogram
+
+        direct = build("a", stream_a)
+        direct.merge(build("b", stream_b))
+
+        via_roundtrip = Histogram("a", reservoir_size=8)
+        via_roundtrip.load_state(
+            json.loads(json.dumps(build("a", stream_a).state_dict())))
+        other = Histogram("b", reservoir_size=8)
+        other.load_state(
+            json.loads(json.dumps(build("b", stream_b).state_dict())))
+        via_roundtrip.merge(other)
+        assert via_roundtrip.state_dict() == direct.state_dict()
+
+    def test_percentile_extremes_exact_on_subsampled_reservoir(self):
+        import random
+
+        rng = random.Random(0)
+        histogram = Histogram("lat", reservoir_size=8)
+        values = [rng.uniform(10.0, 100.0) for _ in range(1000)]
+        for value in values:
+            histogram.add(value)
+        assert histogram.percentile(0.0) == min(values)
+        assert histogram.percentile(1.0) == max(values)
+
+    def test_percentile_extremes_empty_and_single_sample(self):
+        empty = Histogram("e")
+        assert empty.percentile(0.0) == 0.0
+        assert empty.percentile(1.0) == 0.0
+        single = Histogram("s")
+        single.add(5.5)
+        assert single.percentile(0.0) == 5.5
+        assert single.percentile(1.0) == 5.5
+        assert single.percentile(0.5) == 5.5
 
     def test_legacy_sample_list_payload_still_loads(self):
         collector = StatsCollector.from_dict(

@@ -253,6 +253,63 @@ class TestShardedSweepCLI:
         assert (default.parent / "pytest.ini").exists()
 
 
+class TestReportCommand:
+    SMOKE = ["sweep", "--preset", "smoke", "--workers", "1", "--scale", "0.05"]
+
+    def _manifest(self, tmp_path, capsys) -> str:
+        assert main(self.SMOKE + ["--cache-dir", str(tmp_path / "cache")]) == 0
+        capsys.readouterr()
+        return str(tmp_path / "cache" / "manifest.json")
+
+    def test_legacy_textual_report_still_works(self, capsys):
+        assert main(["report", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Figure 10" in out
+
+    def test_report_emits_csvs_and_html(self, capsys, tmp_path):
+        manifest = self._manifest(tmp_path, capsys)
+        out_dir = tmp_path / "artifacts"
+        assert main(["report", manifest, "--out", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        for name in ("metrics.csv", "fig10.csv", "fig11.csv",
+                     "scenarios.csv", "report.html", "bench.html"):
+            assert (out_dir / name).exists(), name
+            assert name in out
+
+    def test_report_no_html_emits_only_csvs(self, capsys, tmp_path):
+        manifest = self._manifest(tmp_path, capsys)
+        out_dir = tmp_path / "artifacts"
+        assert main(["report", manifest, "--out", str(out_dir),
+                     "--no-html", "--no-plots"]) == 0
+        assert not (out_dir / "report.html").exists()
+        assert (out_dir / "metrics.csv").exists()
+
+    def test_report_check_flags_drift_against_goldens(self, capsys, tmp_path):
+        # The smoke-preset grid is not the golden fig10 grid, so --check
+        # must fail loudly — drift, not silence, for a mismatched spec.
+        manifest = self._manifest(tmp_path, capsys)
+        out_dir = tmp_path / "artifacts"
+        assert main(["report", manifest, "--out", str(out_dir),
+                     "--check", "--no-plots", "--no-html"]) == 1
+        out = capsys.readouterr().out
+        assert "GOLDEN DRIFT" in out and "--golden" in out
+
+    def test_report_missing_manifest_exits_1(self, capsys, tmp_path):
+        assert main(["report", str(tmp_path / "absent.json")]) == 1
+        assert "report failed" in capsys.readouterr().out
+
+    def test_report_usage_and_bad_flags(self, capsys, tmp_path):
+        assert main(["report", "--out", str(tmp_path)]) == 2
+        assert "usage" in capsys.readouterr().out
+        assert main(["report", "--bogus", "x"]) == 2
+        assert main(["report", "--out"]) == 2
+        assert main(["report", "x.json", "--workers", "two"]) == 2
+
+    def test_report_golden_rejects_manifest_paths(self, capsys, tmp_path):
+        assert main(["report", str(tmp_path / "m.json"), "--golden"]) == 2
+        assert "--golden" in capsys.readouterr().out
+
+
 class TestConfigCommand:
     def test_list_paths(self, capsys):
         assert main(["config", "--list-paths"]) == 0
