@@ -50,6 +50,11 @@ Sweep options::
                           cache time split and write it to BENCH_sweep.json
     --perf-report-path F  where to write the perf report (default: the repo
                           root's BENCH_sweep.json, wherever you run from)
+    --profile             cProfile the worker hot path (forces --workers 1 —
+                          pool workers cannot be profiled from the parent)
+                          and write per-phase top-N cumulative tables
+                          (trace-build vs simulate) next to the perf report
+                          as <perf-report-path>.profile.txt
 
 Report options (after one or more manifest paths)::
 
@@ -395,6 +400,13 @@ def _write_perf_report(result, path) -> int:
         f"simulate {report['simulate_seconds']:.3f}s, "
         f"cache {report['cache_seconds']:.3f}s (worker-time aggregates)"
     )
+    print(
+        f"perf: backend={report['backend'] or 'n/a'} | "
+        f"{report['events_processed']} engine events "
+        f"({report['events_per_sec']:.0f} events/sec of simulate time)"
+    )
+    for warning in report.get("warnings", ()):
+        print(f"perf: WARNING: {warning}")
     if report["executed_cells"] == 0:
         # Don't overwrite the perf trajectory with a cache-read number.
         # Merged results carry the shard runs' real executed counts, so a
@@ -434,6 +446,7 @@ def _cmd_sweep(args: List[str]) -> int:
     cache_flagged = False  # did the user say --cache-dir/--no-cache explicitly?
     perf_report = False
     perf_report_path = None
+    profile = False
     shard_coords = None
     manifest_arg = None
     resume_arg = None
@@ -448,6 +461,10 @@ def _cmd_sweep(args: List[str]) -> int:
                 continue
             if flag == "--perf-report":
                 perf_report = True
+                index += 1
+                continue
+            if flag == "--profile":
+                profile = True
                 index += 1
                 continue
             if flag.startswith("--") and index + 1 >= len(args):
@@ -508,6 +525,16 @@ def _cmd_sweep(args: List[str]) -> int:
         print(error.args[0] if error.args else error)
         return 2
 
+    profile_text = None
+    if profile:
+        from repro.runner import enable_profiling
+
+        if workers != 1:
+            print(f"--profile forces --workers 1 (was {workers}); pool "
+                  f"workers cannot be profiled from the parent process")
+            workers = 1
+        enable_profiling()
+
     try:
         if resume_arg is not None:
             # The grid comes from the manifest; only execution knobs apply.
@@ -567,6 +594,15 @@ def _cmd_sweep(args: List[str]) -> int:
         message = error.args[0] if error.args else error
         print(message)
         return 2
+    finally:
+        if profile:
+            # Harvest before disarming so the tables survive the reset; the
+            # finally also disarms on the error returns above, keeping later
+            # in-process sweeps (tests, figure layers) unprofiled.
+            from repro.runner import disable_profiling, profile_tables
+
+            profile_text = profile_tables()
+            disable_profiling()
 
     _print_sweep_table(result)
     shard_note = ""
@@ -588,6 +624,14 @@ def _cmd_sweep(args: List[str]) -> int:
         return 1
     if perf_report:
         _write_perf_report(result, perf_report_path or _default_perf_report_path())
+    if profile and profile_text is not None:
+        from pathlib import Path
+
+        report_path = Path(perf_report_path or _default_perf_report_path())
+        profile_path = report_path.with_suffix(".profile.txt")
+        profile_path.parent.mkdir(parents=True, exist_ok=True)
+        profile_path.write_text(profile_text)
+        print(f"profile written to {profile_path}")
     return 0
 
 

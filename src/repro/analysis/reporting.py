@@ -56,6 +56,16 @@ GOLDEN_RELDIR = Path("tests") / "data" / "report"
 GOLDEN_PRESET = "fig10"
 GOLDEN_SCALE = 0.1
 
+#: The override-axis sweep whose ``sensitivity.csv`` surface is drift-gated.
+#: The fig10 grid carries no override axis, so its artifact set never emits
+#: a sensitivity table; this companion sweep runs the ``sim.backend``
+#: ablation and its goldens live in the ``sensitivity/`` subdirectory (the
+#: top-level goldens stay byte-diffable against the fig10-only CI grid).
+#: Doubling as a backend-equivalence pin: both backend labels of the golden
+#: surface must carry identical metric values.
+SENSITIVITY_GOLDEN_PRESET = "backend-sweep"
+SENSITIVITY_GOLDEN_SUBDIR = "sensitivity"
+
 #: The per-cell scalar metrics ``metrics.csv`` records, in column order.
 METRIC_COLUMNS = (
     "ipc",
@@ -377,7 +387,8 @@ def render_bench_html(points: Sequence[Mapping[str, object]]) -> str:
             f"stroke-width='1.5'/>{dots}</svg>")
         header = ["commit", "executed_cells_per_sec", "cells_per_sec",
                   "executed_cells", "trace_build_seconds", "simulate_seconds",
-                  "elapsed_seconds"]
+                  "elapsed_seconds", "backend", "events_processed",
+                  "events_per_sec"]
         rows = [[point.get(column, "") for column in header] for point in points]
         parts.append(_html_table(header, rows))
     else:
@@ -552,17 +563,47 @@ def golden_result(workers: int = 1):
     return run_sweep(golden_spec(), workers=workers, cache=False)
 
 
+def sensitivity_golden_spec():
+    """The override-axis sweep behind the ``sensitivity/`` goldens."""
+    from repro.configspace import get_preset
+
+    return get_preset(SENSITIVITY_GOLDEN_PRESET).spec()
+
+
+def sensitivity_golden_result(workers: int = 1):
+    """Run the fixed-seed override-axis sweep the sensitivity goldens gate."""
+    from repro.runner import run_sweep
+
+    return run_sweep(sensitivity_golden_spec(), workers=workers, cache=False)
+
+
+def default_sensitivity_golden_dir() -> Path:
+    """Where the sensitivity-surface goldens live in this checkout."""
+    return default_golden_dir() / SENSITIVITY_GOLDEN_SUBDIR
+
+
 def write_goldens(
     out_dir: Union[os.PathLike, str, None] = None, workers: int = 1
 ) -> Dict[str, Path]:
     """(Re)write the golden CSVs under ``tests/data/report/``.
 
     Only the CSVs: goldens gate numbers, not presentation, so HTML and
-    plots stay out of the golden directory.
+    plots stay out of the golden directory.  The override-axis sweep's
+    artifact set (including ``sensitivity.csv``) goes into the
+    ``sensitivity/`` subdirectory, keyed by its own grid.
     """
     out = Path(out_dir) if out_dir is not None else _repo_root() / GOLDEN_RELDIR
-    return write_report(
+    written = write_report(
         golden_result(workers=workers), out, plots=False, html_report=False)
+    sensitivity_written = write_report(
+        sensitivity_golden_result(workers=workers),
+        out / SENSITIVITY_GOLDEN_SUBDIR,
+        plots=False,
+        html_report=False,
+    )
+    for name, path in sensitivity_written.items():
+        written[f"{SENSITIVITY_GOLDEN_SUBDIR}/{name}"] = path
+    return written
 
 
 def compare_csv_dirs(

@@ -68,10 +68,14 @@ from repro.runner.cache import CACHE_VERSION, ResultCache, default_cache_dir
 from repro.runner.runner import (
     CellFailure,
     CellRun,
+    SharedTraceStore,
     SweepExecutionError,
     SweepResult,
     SweepRunner,
+    disable_profiling,
+    enable_profiling,
     execute_cell,
+    profile_tables,
     run_grid,
     run_sweep,
     shutdown_worker_pools,
@@ -107,6 +111,7 @@ __all__ = [
     "OverrideSet",
     "ResultCache",
     "RunManifest",
+    "SharedTraceStore",
     "SweepCell",
     "SweepExecutionError",
     "SweepResult",
@@ -118,8 +123,11 @@ __all__ = [
     "cell_seed",
     "default_cache_dir",
     "default_manifest_name",
+    "disable_profiling",
+    "enable_profiling",
     "execute_cell",
     "merge_manifests",
+    "profile_tables",
     "resume_sweep",
     "run_grid",
     "run_sweep",

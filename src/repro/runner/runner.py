@@ -17,12 +17,15 @@ is what makes ablation reruns incremental.
 from __future__ import annotations
 
 import atexit
+import hashlib
 import multiprocessing
 import os
+import pickle
 import time
 import traceback
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.platforms.base import GPUSSDPlatform, PlatformResult
@@ -42,11 +45,47 @@ _TRACE_MEMO: "OrderedDict[Tuple, object]" = OrderedDict()
 _TRACE_MEMO_MAX_ENTRIES = 32
 
 
+def _trace_shm_name(memo_key: Tuple) -> str:
+    """Deterministic shared-memory segment name for one trace key.
+
+    Both sides derive the name independently from the trace key, so no name
+    needs to cross the process boundary: the parent publishes under it and a
+    worker probes it before falling back to a local build.
+    """
+    digest = hashlib.sha256(repr(memo_key).encode("utf-8")).hexdigest()[:24]
+    return f"repro_trace_{digest}"
+
+
+def _attach_shared_trace(memo_key: Tuple):
+    """Unpickle a parent-published trace from shared memory, or ``None``.
+
+    Attaching registers the segment with this process's resource tracker
+    (bpo-39959), which would try to unlink it again at worker exit — the
+    parent owns the segment lifetime, so the registration is undone here.
+    """
+    try:
+        segment = shared_memory.SharedMemory(name=_trace_shm_name(memo_key))
+    except (FileNotFoundError, OSError):
+        return None
+    try:
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:
+        pass
+    try:
+        return pickle.loads(bytes(segment.buf))
+    except Exception:
+        return None
+    finally:
+        segment.close()
+
+
 def _trace_for(cell: SweepCell):
     memo_key = cell.trace_key()
     trace = _TRACE_MEMO.get(memo_key)
     if trace is None:
-        trace = build_cell_trace(cell)
+        trace = _attach_shared_trace(memo_key)
+        if trace is None:
+            trace = build_cell_trace(cell)
         _TRACE_MEMO[memo_key] = trace
         while len(_TRACE_MEMO) > _TRACE_MEMO_MAX_ENTRIES:
             _TRACE_MEMO.popitem(last=False)
@@ -55,17 +94,156 @@ def _trace_for(cell: SweepCell):
     return trace
 
 
+class SharedTraceStore:
+    """Parent-side publication of built traces over POSIX shared memory.
+
+    All platforms of one sweep share the same trace, but pool workers cannot
+    see each other's ``_TRACE_MEMO`` — without sharing, every worker rebuilds
+    every trace it is handed.  The parent instead builds each distinct trace
+    once, pickles it into a named :class:`~multiprocessing.shared_memory.\
+SharedMemory` segment, and workers attach by the deterministic name derived
+    from the trace key.  Publication is best-effort: any failure (unpicklable
+    trace, exhausted ``/dev/shm``, name collision with a concurrent run)
+    degrades to the worker-local build, never to an error.
+
+    Segments outlive individual sweeps on purpose: the figure layers run many
+    sweeps over the same traces per process, and content is a pure function
+    of the segment name, so republishing every run would only add pickle +
+    ``shm_open`` cost to the steady state.  The store evicts LRU beyond
+    ``max_segments`` and unlinks everything at process exit; a leftover
+    segment from a killed run is byte-identical by construction and simply
+    gets reused.
+    """
+
+    def __init__(self, max_segments: int = 64) -> None:
+        self.max_segments = max_segments
+        self._segments: "OrderedDict[str, shared_memory.SharedMemory]" = OrderedDict()
+
+    def publish(self, pending: Sequence[Tuple[int, SweepCell]]) -> int:
+        """Build and share the distinct traces of ``pending``; count published."""
+        published = 0
+        for _, cell in pending:
+            memo_key = cell.trace_key()
+            name = _trace_shm_name(memo_key)
+            if name in self._segments:
+                self._segments.move_to_end(name)
+                continue
+            try:
+                payload = pickle.dumps(
+                    _trace_for(cell), protocol=pickle.HIGHEST_PROTOCOL
+                )
+                segment = shared_memory.SharedMemory(
+                    name=name, create=True, size=len(payload)
+                )
+            except FileExistsError:
+                # A previous (possibly killed) run already published this
+                # trace; adopt the segment — same name, same bytes.
+                try:
+                    segment = shared_memory.SharedMemory(name=name)
+                except Exception:
+                    continue
+            except Exception:
+                continue
+            else:
+                segment.buf[: len(payload)] = payload
+            self._segments[name] = segment
+            published += 1
+            while len(self._segments) > self.max_segments:
+                _, oldest = self._segments.popitem(last=False)
+                self._unlink(oldest)
+        return published
+
+    @staticmethod
+    def _unlink(segment: shared_memory.SharedMemory) -> None:
+        try:
+            segment.close()
+            segment.unlink()
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        """Unlink every published segment (idempotent)."""
+        for segment in self._segments.values():
+            self._unlink(segment)
+        self._segments.clear()
+
+
+#: The process-wide store (sweeps share it like they share worker pools).
+_SHARED_TRACES = SharedTraceStore()
+atexit.register(_SHARED_TRACES.close)
+
+
 def execute_cell(cell: SweepCell) -> PlatformResult:
     """Run one cell to completion (the function a pool worker executes)."""
     return GPUSSDPlatform.execute(cell.platform, _trace_for(cell), cell.resolved_config())
 
 
+#: Per-phase cProfile collectors for ``sweep --profile`` (None = disabled).
+#: Profiling is inherently serial — pool workers are separate processes whose
+#: profiler state never returns — so the CLI forces ``workers=1`` with it.
+_PROFILERS: Optional[Dict[str, "object"]] = None
+
+
+def enable_profiling() -> None:
+    """Arm per-phase profilers; every later executed cell accumulates into them."""
+    import cProfile
+
+    global _PROFILERS
+    _PROFILERS = {"trace_build": cProfile.Profile(), "simulate": cProfile.Profile()}
+
+
+def disable_profiling() -> None:
+    global _PROFILERS
+    _PROFILERS = None
+
+
+def profile_tables(top: int = 25) -> str:
+    """Render the armed profilers as per-phase top-N cumulative tables."""
+    import io
+    import pstats
+
+    if not _PROFILERS:
+        return ""
+    sections = []
+    for phase in ("trace_build", "simulate"):
+        profile = _PROFILERS.get(phase)
+        if profile is None:
+            continue
+        stream = io.StringIO()
+        stats = pstats.Stats(profile, stream=stream)
+        stats.sort_stats("cumulative").print_stats(top)
+        sections.append(
+            f"== phase: {phase} (top {top} by cumulative time) ==\n"
+            + stream.getvalue()
+        )
+    return "\n".join(sections)
+
+
 def _execute_cell_timed(cell: SweepCell) -> Tuple[PlatformResult, Dict[str, float]]:
     """Run one cell, reporting where its wall time went (for --perf-report)."""
+    profilers = _PROFILERS
     started = time.perf_counter()
-    trace = _trace_for(cell)
+    if profilers is not None:
+        profile = profilers["trace_build"]
+        profile.enable()
+        try:
+            trace = _trace_for(cell)
+        finally:
+            profile.disable()
+    else:
+        trace = _trace_for(cell)
     trace_done = time.perf_counter()
-    result = GPUSSDPlatform.execute(cell.platform, trace, cell.resolved_config())
+    if profilers is not None:
+        profile = profilers["simulate"]
+        profile.enable()
+        try:
+            result = GPUSSDPlatform.execute(
+                cell.platform, trace, cell.resolved_config()
+            )
+        finally:
+            profile.disable()
+    else:
+        result = GPUSSDPlatform.execute(cell.platform, trace, cell.resolved_config())
     finished = time.perf_counter()
     return result, {
         "trace_build_seconds": trace_done - started,
@@ -267,6 +445,32 @@ class SweepResult:
         executed = sum(1 for run in self.runs if not run.from_cache)
         return executed / self.elapsed_seconds if self.elapsed_seconds else 0.0
 
+    @property
+    def events_processed(self) -> int:
+        """Scheduler events serviced by the cells executed this run.
+
+        Cached cells are excluded — their engine work happened in some
+        earlier run — so the count pairs with :attr:`simulate_seconds`.
+        """
+        return sum(
+            int(run.result.execution.events)
+            for run in self.runs
+            if not run.from_cache
+        )
+
+    @property
+    def events_per_sec(self) -> float:
+        """Engine event throughput over the worker-side simulate time."""
+        simulate = self.simulate_seconds
+        return self.events_processed / simulate if simulate else 0.0
+
+    @property
+    def backends(self) -> List[str]:
+        """Distinct ``sim.backend`` values across the sweep's cells, sorted."""
+        return sorted(
+            {run.cell.resolved_config().sim.backend for run in self.runs}
+        )
+
     def perf_report(self) -> Dict[str, object]:
         """The ``BENCH_sweep.json`` payload: throughput and where time went.
 
@@ -289,7 +493,18 @@ class SweepResult:
             "trace_build_seconds": self.trace_build_seconds,
             "simulate_seconds": self.simulate_seconds,
             "cache_seconds": self.cache_seconds,
+            "backend": ",".join(self.backends),
+            "events_processed": self.events_processed,
+            "events_per_sec": self.events_per_sec,
         }
+        if self.cache_hits > 0:
+            # Loud and machine-readable: a warm cache means the throughput
+            # numbers above measure disk reads, not the simulator hot path.
+            report["warnings"] = [
+                f"cache_hits={self.cache_hits}: cells_per_sec includes "
+                "cache-served cells; rerun with --no-cache (or a cold cache "
+                "dir) for a clean hot-path measurement."
+            ]
         if self.shard_count is not None:
             report["shard_index"] = self.shard_index
             report["shard_count"] = self.shard_count
@@ -386,6 +601,11 @@ class SweepRunner:
         if manifest is not None:
             manifest.write(manifest_path)
 
+        if self.workers > 1 and len(pending) > 1:
+            # Pool dispatch ahead: build each distinct trace once in the
+            # parent and share it so no worker rebuilds it.  Serial runs
+            # skip this — _TRACE_MEMO already deduplicates in-process.
+            _SHARED_TRACES.publish(pending)
         try:
             for index, result, timings, error in self._execute(pending):
                 cell = cells[index]

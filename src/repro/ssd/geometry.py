@@ -33,6 +33,12 @@ class FlashLocation:
 class FlashGeometry:
     """Address arithmetic over the Z-NAND backbone described by a config."""
 
+    #: Decompose-memo bound: far above any working set the sweeps touch,
+    #: small enough (5-int locations) that the memo can never matter for
+    #: memory.  Cleared wholesale on overflow rather than LRU-tracked —
+    #: decode order is access order, so precision buys nothing here.
+    _DECOMPOSE_CACHE_MAX = 1 << 16
+
     def __init__(self, config: ZNANDConfig) -> None:
         self.config = config
         self.channels = config.channels
@@ -41,6 +47,7 @@ class FlashGeometry:
         self.blocks_per_plane = config.blocks_per_plane
         self.pages_per_block = config.pages_per_block
         self.page_size_bytes = config.page_size_bytes
+        self._decompose_cache: "dict[int, FlashLocation]" = {}
 
     # -- capacity -----------------------------------------------------------
     @property
@@ -70,7 +77,13 @@ class FlashGeometry:
         The page stripe order is: channel, then die, then plane, then page
         within the block, then block — i.e. consecutive pages land on
         different channels to maximise parallelism.
+
+        Memoized per geometry: decode is pure, and the hot request paths
+        decode the same working-set pages over and over.
         """
+        location = self._decompose_cache.get(ppn)
+        if location is not None:
+            return location
         if not 0 <= ppn < self.total_pages:
             raise ValueError(f"PPN {ppn} out of range (total {self.total_pages})")
         channel = ppn % self.channels
@@ -81,7 +94,12 @@ class FlashGeometry:
         remainder //= self.planes_per_die
         page = remainder % self.pages_per_block
         block = remainder // self.pages_per_block
-        return FlashLocation(channel=channel, die=die, plane=plane, block=block, page=page)
+        location = FlashLocation(
+            channel=channel, die=die, plane=plane, block=block, page=page)
+        if len(self._decompose_cache) >= self._DECOMPOSE_CACHE_MAX:
+            self._decompose_cache.clear()
+        self._decompose_cache[ppn] = location
+        return location
 
     def compose(self, location: FlashLocation) -> int:
         """Inverse of :meth:`decompose`."""

@@ -166,16 +166,23 @@ class ZNANDArray:
         return plane_id, self.planes[plane_id]
 
     def read_page(
-        self, ppn: int, now: float, transfer_bytes: Optional[int] = None
+        self,
+        ppn: int,
+        now: float,
+        transfer_bytes: Optional[int] = None,
+        location: Optional[FlashLocation] = None,
     ) -> FlashOperationResult:
         """Sense a page from the array and ship it over the flash network.
 
         ``transfer_bytes`` allows the caller to move only part of the page
         (e.g. a reduced prefetch granularity); the array sensing time is paid
         in full regardless, which is exactly the granularity mismatch the
-        paper highlights.
+        paper highlights.  ``location`` lets a controller that already
+        decoded the address skip the second decompose (pure function, so the
+        timing is unchanged).
         """
-        location = self.geometry.decompose(ppn)
+        if location is None:
+            location = self.geometry.decompose(ppn)
         plane_id, plane = self._plane_resource(location)
         array_latency = self.config.read_latency_cycles + self.COMMAND_OVERHEAD_CYCLES
         start = plane.acquire(now, array_latency)
@@ -192,6 +199,50 @@ class ZNANDArray:
             transfer_cycles=completion - sensed,
             location=location,
         )
+
+    def read_pages(
+        self,
+        ppns: List[int],
+        whens: List[float],
+        transfer_bytes: Optional[List[Optional[int]]] = None,
+        locations: Optional[List[FlashLocation]] = None,
+    ) -> List[FlashOperationResult]:
+        """Batch read: element-identical to a fold of :meth:`read_page` calls.
+
+        Each read chains plane sensing into its network transfer, so the
+        per-page chain stays sequential; the batch form books the whole run
+        of channel/plane events in one call with the geometry, plane pool and
+        network bound once.
+        """
+        geometry = self.geometry
+        planes = self.planes
+        network_transfer = self.network.transfer
+        read_latency = self.config.read_latency_cycles + self.COMMAND_OVERHEAD_CYCLES
+        page_bytes = self.config.page_size_bytes
+        plane_id_of = geometry.plane_id
+        reads_per_plane = self.reads_per_plane
+        results: List[FlashOperationResult] = []
+        for index, (ppn, now) in enumerate(zip(ppns, whens)):
+            location = locations[index] if locations is not None else geometry.decompose(ppn)
+            plane_id = plane_id_of(location)
+            start = planes[plane_id].acquire(now, read_latency)
+            sensed = start + read_latency
+            wanted = transfer_bytes[index] if transfer_bytes is not None else None
+            bytes_to_move = wanted or page_bytes
+            completion = network_transfer(location.channel, bytes_to_move, sensed)
+            reads_per_plane[plane_id] += 1
+            self.bytes_read_from_array += page_bytes
+            results.append(
+                FlashOperationResult(
+                    start_cycle=start,
+                    completion_cycle=completion,
+                    array_cycles=read_latency,
+                    transfer_cycles=completion - sensed,
+                    location=location,
+                )
+            )
+        self.page_reads += len(results)
+        return results
 
     def program_page(
         self, ppn: int, now: float, transfer_bytes: Optional[int] = None

@@ -393,6 +393,13 @@ def resolve_workload_tokens(tokens: Iterable[str]) -> List[str]:
     return resolved
 
 
+#: Per-process fingerprint memo for *family* tokens only.  Family catalogues
+#: are fixed for the life of the process, so token -> fingerprint is a pure
+#: function; ``trace:`` tokens are never cached because the file's bytes can
+#: change on disk between calls and the fingerprint must notice.
+_FAMILY_FINGERPRINT_CACHE: Dict[str, str] = {}
+
+
 def workload_fingerprint(token: str) -> str:
     """Content hash of the *resolved* workload behind a token.
 
@@ -401,14 +408,23 @@ def workload_fingerprint(token: str) -> str:
     cells share a cache entry only when their workloads resolve to the same
     parameters — and a trace file shares nothing once its bytes change.
     """
+    cacheable = TRACE_TOKEN_PREFIX not in token
+    if cacheable:
+        cached = _FAMILY_FINGERPRINT_CACHE.get(token)
+        if cached is not None:
+            return cached
     read_app, write_app = parse_workload_token(token)
     if write_app is None:
-        return resolve_workload(read_app).fingerprint()
-    return fingerprint([
-        "workload-mix",
-        resolve_workload(read_app).fingerprint(),
-        resolve_workload(write_app).fingerprint(),
-    ])
+        result = resolve_workload(read_app).fingerprint()
+    else:
+        result = fingerprint([
+            "workload-mix",
+            resolve_workload(read_app).fingerprint(),
+            resolve_workload(write_app).fingerprint(),
+        ])
+    if cacheable:
+        _FAMILY_FINGERPRINT_CACHE[token] = result
+    return result
 
 
 def build_trace(token: str, knobs: TraceKnobs) -> WorkloadTrace:

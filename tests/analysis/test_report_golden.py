@@ -24,9 +24,12 @@ from repro.analysis.reporting import (
     compare_csv_dirs,
     csv_cell,
     default_golden_dir,
+    default_sensitivity_golden_dir,
     golden_result,
     golden_spec,
     report_tables,
+    sensitivity_golden_result,
+    sensitivity_golden_spec,
     write_csv,
     write_report,
 )
@@ -120,6 +123,41 @@ class TestGoldenGate:
         derived.mkdir()
         drift = compare_csv_dirs(derived, tmp_path / "nonexistent")
         assert len(drift) == 1 and "--golden" in drift[0]
+
+
+@pytest.fixture(scope="module")
+def sensitivity_sweep():
+    return sensitivity_golden_result()
+
+
+class TestSensitivityGoldenGate:
+    def test_sensitivity_goldens_match_rederived_sweep(
+        self, sensitivity_sweep, tmp_path_factory
+    ):
+        """The override-axis surface gate: sensitivity.csv et al. vs goldens."""
+        derived = tmp_path_factory.mktemp("sensitivity_derived")
+        write_report(sensitivity_sweep, derived, plots=False, html_report=False)
+        drift = compare_csv_dirs(derived, default_sensitivity_golden_dir())
+        assert drift == [], "\n".join(drift)
+
+    def test_sensitivity_goldens_include_the_sensitivity_table(self):
+        committed = {p.name for p in default_sensitivity_golden_dir().glob("*.csv")}
+        assert "sensitivity.csv" in committed
+
+    def test_golden_surface_spans_both_backends(self):
+        spec = sensitivity_golden_spec()
+        labels = {override.label for override in spec.overrides}
+        assert labels == {"backend=scalar", "backend=vectorized"}
+
+    def test_backend_labels_carry_identical_metrics(self, sensitivity_sweep):
+        """The equivalence pin: scalar and vectorized rows are value-equal."""
+        tables = report_tables(sensitivity_sweep)
+        header, rows = tables["sensitivity"]
+        by_backend = {}
+        for row in rows:
+            label, rest = row[0], tuple(row[1:])
+            by_backend.setdefault(label, []).append(rest)
+        assert by_backend["backend=scalar"] == by_backend["backend=vectorized"]
 
 
 class TestShardedReportEquality:

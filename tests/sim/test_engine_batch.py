@@ -1,0 +1,197 @@
+"""Property tests for the batch resource APIs and the calendar queue.
+
+The vectorized backend's bit-identity contract rests on two foundations
+gated here: every ``*_batch`` method equals a fold of its scalar
+counterpart (identical return values *and* identical post-call resource
+state), and :class:`~repro.sim.engine.CalendarQueue` pops events in the
+exact order ``heapq`` would.
+"""
+
+import heapq
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import (
+    BandwidthResource,
+    CalendarQueue,
+    Resource,
+    ResourcePool,
+)
+
+
+def _resource_state(resource):
+    return (
+        resource.busy_cycles,
+        resource.last_completion,
+        resource.requests_served,
+        list(resource._free_at),
+    )
+
+
+_ARRIVALS = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1e5),
+        st.floats(min_value=0.0, max_value=1e3),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestAcquireBatchEqualsScalarFold:
+    @given(arrivals=_ARRIVALS, ports=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=80, deadline=None)
+    def test_starts_and_state_identical(self, arrivals, ports):
+        scalar = Resource("scalar", ports=ports)
+        batched = Resource("batched", ports=ports)
+        whens = [when for when, _ in arrivals]
+        durations = [duration for _, duration in arrivals]
+        expected = [scalar.acquire(w, d) for w, d in arrivals]
+        got = batched.acquire_batch(whens, durations)
+        assert got == expected
+        assert _resource_state(batched) == _resource_state(scalar)
+
+    @given(arrivals=_ARRIVALS, ports=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_batch_splits_arbitrarily(self, arrivals, ports):
+        """Any partition of the sequence into batches gives the same fold."""
+        whole = Resource("whole", ports=ports)
+        split = Resource("split", ports=ports)
+        whens = [when for when, _ in arrivals]
+        durations = [duration for _, duration in arrivals]
+        expected = whole.acquire_batch(whens, durations)
+        cut = len(arrivals) // 2
+        got = split.acquire_batch(whens[:cut], durations[:cut])
+        got += split.acquire_batch(whens[cut:], durations[cut:])
+        assert got == expected
+        assert _resource_state(split) == _resource_state(whole)
+
+    def test_negative_duration_raises_like_scalar(self):
+        resource = Resource("r", ports=1)
+        with pytest.raises(ValueError):
+            resource.acquire_batch([0.0], [-1.0])
+
+
+class TestTransferBatchEqualsScalarFold:
+    @given(
+        transfers=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e5),
+                st.integers(min_value=0, max_value=1 << 20),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        bytes_per_cycle=st.floats(min_value=0.5, max_value=512.0),
+        fixed_latency=st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_completions_and_stats_identical(
+        self, transfers, bytes_per_cycle, fixed_latency
+    ):
+        def build(name):
+            return BandwidthResource(
+                name=name,
+                bytes_per_cycle=bytes_per_cycle,
+                ports=1,
+                fixed_latency=fixed_latency,
+            )
+
+        scalar, batched = build("scalar"), build("batched")
+        expected = [scalar.transfer(w, b) for w, b in transfers]
+        got = batched.transfer_batch(
+            [w for w, _ in transfers], [b for _, b in transfers]
+        )
+        assert got == expected
+        assert batched.bytes_transferred == scalar.bytes_transferred
+        assert _resource_state(batched) == _resource_state(scalar)
+
+
+class TestPoolBatchEqualsScalarFold:
+    @given(
+        requests=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=63),
+                st.floats(min_value=0.0, max_value=1e4),
+                st.floats(min_value=0.0, max_value=500.0),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        count=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_striped_starts_identical(self, requests, count):
+        def build(stem):
+            return ResourcePool(
+                [Resource(f"{stem}{i}", ports=1) for i in range(count)]
+            )
+
+        scalar, batched = build("s"), build("b")
+        expected = [
+            scalar[index % count].acquire(when, duration)
+            for index, when, duration in requests
+        ]
+        got = batched.acquire_batch(
+            [index for index, _, _ in requests],
+            [when for _, when, _ in requests],
+            [duration for _, _, duration in requests],
+        )
+        assert got == expected
+        for scalar_member, batched_member in zip(scalar, batched):
+            assert _resource_state(batched_member) == _resource_state(
+                scalar_member
+            )
+
+
+class TestCalendarQueueOrder:
+    @given(
+        readies=st.lists(
+            st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=200
+        ),
+        interleave=st.integers(min_value=1, max_value=7),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_pops_in_exact_heapq_order(self, readies, interleave):
+        """Interleaved pushes and pops match heapq, tie-broken by sequence."""
+        calendar = CalendarQueue()
+        heap = []
+        popped = []
+        for sequence, ready in enumerate(readies):
+            event = (ready, sequence)
+            calendar.push(event)
+            heapq.heappush(heap, event)
+            if sequence % interleave == 0:
+                popped.append(calendar.pop())
+                assert popped[-1] == heapq.heappop(heap)
+        while heap:
+            assert calendar.pop() == heapq.heappop(heap)
+        assert len(calendar) == 0
+
+    @given(
+        readies=st.lists(
+            st.floats(min_value=0.0, max_value=1e4), min_size=2, max_size=100
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pushes_into_the_past_stay_ordered(self, readies):
+        """A warp rescheduled behind the current bucket still pops in order."""
+        calendar = CalendarQueue(bucket_width=16.0)
+        heap = []
+        # Drain ahead so the active bucket index advances, then push earlier
+        # events (legal: a batch completion can schedule at ready <= now).
+        for sequence, ready in enumerate(readies):
+            event = (ready, sequence)
+            calendar.push(event)
+            heapq.heappush(heap, event)
+        assert calendar.pop() == heapq.heappop(heap)
+        late = (min(readies) / 2.0, len(readies))
+        calendar.push(late)
+        heapq.heappush(heap, late)
+        while heap:
+            assert calendar.pop() == heapq.heappop(heap)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            CalendarQueue().pop()
