@@ -1,0 +1,88 @@
+"""Dispatch-fabric overhead bench: lease-queue workers vs the process pool.
+
+Dispatch trades a per-cell filesystem protocol (claim + heartbeat + commit,
+~4 small writes) for crash tolerance and elastic membership.  This bench
+measures that overhead on the CI smoke-sweep shape so the trajectory is
+visible PR over PR: it runs the identical uncached grid once through
+``SweepRunner`` (the pool) and once through two cooperating
+:class:`DispatchWorker` threads sharing a queue, proves the two grids are
+bit-identical, and prints cells/sec for both.
+
+The comparison is informational — dispatch exists for fault tolerance, not
+speed — but the equivalence assertion is not: a dispatch grid that diverges
+from the pool's is a correctness bug, whatever the clock says.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.runner import DispatchWorker, SweepSpec, merge_manifests, run_sweep
+
+_SMOKE = dict(
+    platforms=["ZnG-base", "ZnG"],
+    workloads=["betw-back", "bfs1-gaus"],
+    scale=0.08,
+    warps_per_sm=2,
+)
+_WORKERS = 2
+
+
+def _smoke_spec() -> SweepSpec:
+    return SweepSpec.create(**_SMOKE)
+
+
+class TestDispatchThroughput:
+    def test_dispatch_vs_pool(self, tmp_path, capsys):
+        spec = _smoke_spec()
+
+        started = time.perf_counter()
+        pool_result = run_sweep(spec, workers=_WORKERS, cache=tmp_path / "pool")
+        pool_elapsed = time.perf_counter() - started
+
+        reports = [None] * _WORKERS
+
+        def work(index: int) -> None:
+            worker = DispatchWorker(
+                spec,
+                cache=tmp_path / "dispatch",
+                owner=f"bench-{index}",
+                lease_ttl_seconds=30,
+                poll_interval_seconds=0.02,
+            )
+            reports[index] = worker.run()
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(_WORKERS)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        dispatch_elapsed = time.perf_counter() - started
+
+        assert all(report is not None for report in reports)
+        complete = [report for report in reports if report.complete]
+        assert complete, "no dispatch worker observed the completed grid"
+        assert sum(r.executed for r in reports) >= len(spec) - sum(
+            r.cache_served for r in reports)
+
+        merged = merge_manifests([complete[0].manifest_path])
+        for metric in ("ipc", "cycles"):
+            assert merged.table(metric) == pool_result.table(metric), (
+                f"dispatch grid diverged from the pool on {metric}")
+
+        cells = len(spec)
+        with capsys.disabled():
+            print(
+                f"\n[dispatch-throughput] {cells} cells, {_WORKERS} workers: "
+                f"pool {cells / pool_elapsed:.1f} cells/s "
+                f"({pool_elapsed:.2f}s), dispatch "
+                f"{cells / dispatch_elapsed:.1f} cells/s "
+                f"({dispatch_elapsed:.2f}s), overhead "
+                f"{dispatch_elapsed / pool_elapsed:.2f}x"
+            )

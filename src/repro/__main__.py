@@ -12,6 +12,7 @@ Usage::
     python -m repro validate            # analytic-vs-measured validations
     python -m repro run <platform> <read_app> <write_app>   # one platform x mix
     python -m repro sweep [options]     # parallel, cached experiment sweep
+    python -m repro dispatch [options]  # lease-based distributed sweep worker
     python -m repro merge <manifest>... # fold shard manifests into one result
     python -m repro config [options]    # inspect the configuration space
     python -m repro workloads [options] # inspect the workload-family registry
@@ -55,6 +56,45 @@ Sweep options::
                           and write per-phase top-N cumulative tables
                           (trace-build vs simulate) next to the perf report
                           as <perf-report-path>.profile.txt
+
+Dispatch options::
+
+    Each ``dispatch`` invocation is ONE worker leasing cells from a
+    file-backed queue in the cache root; start any number of them (processes
+    or hosts sharing the cache) and they cooperate — no daemon, no shards.
+    A worker that dies mid-cell only delays its in-flight cells by the lease
+    TTL: survivors steal the expired lease and the grid still completes.
+    The grid flags --preset/--platforms/--workloads/--set/--config-file/
+    --scale/--seed/--warps mean exactly what they do for sweep (every worker
+    must declare the identical grid; the queue rejects mismatches), plus:
+
+    --cache-dir DIR       result cache AND queue location (default:
+                          .repro-cache); the queue lives under
+                          <cache-dir>/dispatch/<spec-fingerprint[:16]>/
+    --remote-cache URL    share results fleet-wide through an http(s) cache
+                          server (reference server:
+                          python -m repro.runner.cache_server); --cache-dir
+                          becomes the local read-through layer
+    --owner NAME          worker identity in lease records
+                          (default: <hostname>-<pid>)
+    --lease-ttl S         seconds without a heartbeat before a lease is
+                          stealable (default: 30); set it well above the
+                          slowest single cell
+    --poll-interval S     idle sleep between queue scans (default: TTL/4,
+                          clamped to [0.05, 1])
+    --max-cells N         commit at most N cells then exit (smoke runs)
+    --stall-after-claim S fault injection: claim one lease, then stall S
+                          seconds WITHOUT heartbeating — the lease expires
+                          and peers must steal it (CI kill-a-worker drills)
+
+    Whichever worker commits the last cell writes <cache-dir>/manifest.json
+    — the same schema-versioned manifest a serial `sweep` writes, plus a
+    `dispatch` provenance block — so merge/report/goldens work unchanged::
+
+        python -m repro dispatch --preset fig10 &   # worker 1
+        python -m repro dispatch --preset fig10 &   # worker 2
+        wait
+        python -m repro merge .repro-cache/manifest.json
 
 Report options (after one or more manifest paths)::
 
@@ -635,6 +675,153 @@ def _cmd_sweep(args: List[str]) -> int:
     return 0
 
 
+def _cmd_dispatch(args: List[str]) -> int:
+    """One lease-queue worker over the sweep grid; see the module docstring."""
+    from repro.configspace import get_preset
+    from repro.runner import DispatchError, DispatchWorker, SweepSpec, open_cache
+
+    platforms = ["ZnG-base", "ZnG-rdopt", "ZnG-wropt", "ZnG"]
+    workloads = ["betw-back", "bfs1-gaus", "pr-gaus"]
+    override_axis = {}
+    file_overrides = {}
+    scale, seed, warps = 0.2, 1, 8
+    memory_instructions = 64
+    cache_dir = None
+    remote_cache = None
+    owner = None
+    lease_ttl = None
+    poll_interval = None
+    max_cells = None
+    stall_after_claim = 0.0
+    index = 0
+    try:
+        while index < len(args):
+            flag = args[index]
+            if flag.startswith("--") and index + 1 >= len(args):
+                print(f"missing value for {flag}")
+                return 2
+            if flag == "--preset":
+                preset = get_preset(args[index + 1])
+                platforms = list(preset.platforms)
+                workloads = list(preset.workloads)
+                override_axis = preset.override_axis() or {}
+                scale = preset.scale
+                seed = preset.seed
+                warps = preset.warps_per_sm
+                memory_instructions = preset.memory_instructions_per_warp
+            elif flag == "--platforms":
+                platforms = [p for p in args[index + 1].split(",") if p]
+            elif flag == "--workloads":
+                workloads = [w for w in args[index + 1].split(",") if w]
+            elif flag == "--set":
+                label, overrides = _parse_override_flag(args[index + 1])
+                override_axis[label] = overrides
+            elif flag == "--config-file":
+                file_overrides.update(_load_config_file(args[index + 1]))
+            elif flag in ("--scale", "--seed", "--warps", "--lease-ttl",
+                          "--poll-interval", "--max-cells",
+                          "--stall-after-claim"):
+                kind = int if flag in ("--seed", "--warps", "--max-cells") else float
+                try:
+                    value = kind(args[index + 1])
+                except ValueError:
+                    print(f"{flag} expects a number, got {args[index + 1]!r}")
+                    return 2
+                if flag == "--scale":
+                    scale = value
+                elif flag == "--seed":
+                    seed = value
+                elif flag == "--warps":
+                    warps = value
+                elif flag == "--lease-ttl":
+                    lease_ttl = value
+                elif flag == "--poll-interval":
+                    poll_interval = value
+                elif flag == "--max-cells":
+                    max_cells = value
+                else:
+                    stall_after_claim = value
+            elif flag == "--cache-dir":
+                cache_dir = args[index + 1]
+            elif flag == "--remote-cache":
+                remote_cache = args[index + 1]
+            elif flag == "--owner":
+                owner = args[index + 1]
+            else:
+                print(f"unknown dispatch option {flag!r}")
+                return 2
+            index += 2
+    except OSError as error:
+        print(error)
+        return 2
+    except (ValueError, KeyError) as error:
+        print(error.args[0] if error.args else error)
+        return 2
+
+    try:
+        base_config = None
+        if file_overrides:
+            from repro.config import default_config
+            from repro.runner import apply_overrides
+
+            base_config = apply_overrides(default_config(), file_overrides)
+        spec = SweepSpec.create(
+            platforms=platforms,
+            workloads=workloads,
+            overrides=override_axis or None,
+            scale=scale,
+            seed=seed,
+            warps_per_sm=warps,
+            memory_instructions_per_warp=memory_instructions,
+            base_config=base_config,
+        )
+        if remote_cache is not None:
+            cache = open_cache(remote_cache, local_root=cache_dir)
+        else:
+            cache = cache_dir if cache_dir is not None else True
+        worker_kwargs = dict(
+            cache=cache,
+            owner=owner,
+            stall_after_claim_seconds=stall_after_claim,
+            max_cells=max_cells,
+        )
+        if lease_ttl is not None:
+            worker_kwargs["lease_ttl_seconds"] = lease_ttl
+        if poll_interval is not None:
+            worker_kwargs["poll_interval_seconds"] = poll_interval
+        worker = DispatchWorker(spec, **worker_kwargs)
+        report = worker.run()
+    except DispatchError as error:
+        print(error.args[0] if error.args else error)
+        return 2
+    except (ValueError, KeyError) as error:
+        print(error.args[0] if error.args else error)
+        return 2
+
+    print(
+        f"worker {report.owner}: {report.executed} executed, "
+        f"{report.cache_served} from cache, {report.stolen} stolen, "
+        f"{report.wasted} wasted, {len(report.failed)} failed "
+        f"in {report.elapsed_seconds:.2f}s "
+        f"[cache {worker.cache.describe()}]"
+    )
+    if report.complete and report.manifest_path is not None:
+        print(f"grid complete; manifest at {report.manifest_path}")
+    elif not report.complete:
+        pending = worker.queue.pending(
+            [cell.cache_key() for cell in spec.cells()])
+        print(f"exiting with the grid incomplete ({len(pending)} cells "
+              f"pending); more workers (or a re-run) will finish it")
+    if report.failed:
+        for label in report.failed:
+            print(f"FAILED {label}")
+        print(f"{len(report.failed)} cell(s) failed; inspect the manifest and "
+              f"re-run dispatch after fixing (committed failures are sticky "
+              f"for this queue)")
+        return 1
+    return 0
+
+
 def _cmd_merge(args: List[str]) -> int:
     """Fold N shard manifests + caches into one verified sweep result."""
     from repro.runner import ManifestError, merge_manifests
@@ -943,6 +1130,7 @@ def _cmd_workloads(args: List[str]) -> int:
 COMMANDS = {
     "report": _cmd_report,
     "sweep": _cmd_sweep,
+    "dispatch": _cmd_dispatch,
     "merge": _cmd_merge,
     "config": _cmd_config,
     "workloads": _cmd_workloads,

@@ -477,6 +477,14 @@ def result_provenance(result, manifests=None) -> Dict[str, object]:
         provenance.setdefault("manifest_schema", summary["schema"])
         key = f"manifest[{summary['shard']}]"
         provenance[key] = summary["path"]
+        dispatch = summary.get("dispatch")
+        if isinstance(dispatch, dict):
+            workers = dispatch.get("workers") or []
+            provenance[f"dispatch[{summary['shard']}]"] = (
+                f"{len(workers)} worker(s): {', '.join(workers)}; "
+                f"{dispatch.get('executed', 0)} executed, "
+                f"{dispatch.get('cache_served', 0)} from cache, "
+                f"{dispatch.get('stolen_leases', 0)} stolen lease(s)")
     return provenance
 
 

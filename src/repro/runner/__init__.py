@@ -49,6 +49,30 @@ and :func:`merge_manifests` folds N shard manifests + caches back into one
 complete, verified ``SweepResult`` (see :mod:`repro.runner.manifest`).  The
 CLI front ends are ``sweep --shard I/N``, ``sweep --resume`` and ``merge``.
 
+Distributed dispatch
+--------------------
+Where sharding pins a fixed slice per host, :mod:`repro.runner.dispatch`
+*leases* individual cells to any number of worker processes/hosts through a
+file-backed queue in the cache root — atomic claim, heartbeat mtimes,
+work-stealing of expired leases, exactly-once commit — and converges on the
+same run manifest a sweep writes, so merge/report/goldens are oblivious::
+
+    from repro.runner import SweepSpec, run_dispatch_worker
+    report = run_dispatch_worker(spec, cache=".repro-cache")   # one worker
+    # start as many workers as you like; any single one dying only delays
+    # its in-flight cells by the lease TTL
+
+CLI front end: ``python -m repro dispatch``.
+
+Cache backends
+--------------
+The result cache is pluggable (:class:`~repro.runner.cache.
+ResultCacheBackend`): :class:`LocalResultCache` is the on-disk store below,
+:class:`~repro.runner.cache_remote.RemoteResultCache` shares the same
+content-addressed keys fleet-wide over HTTP with a local read-through layer
+(reference server: ``python -m repro.runner.cache_server``).  Anywhere a
+cache directory is accepted, an ``http(s)://`` URL works too.
+
 Cache layout
 ------------
 Finished cells are memoized under ``.repro-cache/`` (override with
@@ -64,7 +88,23 @@ and a corrupted entry is dropped and recomputed, never trusted.
 The CLI front end is ``python -m repro sweep``.
 """
 
-from repro.runner.cache import CACHE_VERSION, ResultCache, default_cache_dir
+from repro.runner.cache import (
+    CACHE_VERSION,
+    LocalResultCache,
+    ResultCache,
+    ResultCacheBackend,
+    default_cache_dir,
+    open_cache,
+)
+from repro.runner.cache_remote import RemoteResultCache
+from repro.runner.dispatch import (
+    DispatchError,
+    DispatchReport,
+    DispatchWorker,
+    LeaseQueue,
+    default_owner,
+    run_dispatch_worker,
+)
 from repro.runner.runner import (
     CellFailure,
     CellRun,
@@ -104,12 +144,19 @@ __all__ = [
     "CACHE_VERSION",
     "CellFailure",
     "CellRun",
+    "DispatchError",
+    "DispatchReport",
+    "DispatchWorker",
+    "LeaseQueue",
+    "LocalResultCache",
     "MANIFEST_SCHEMA",
     "ManifestCell",
     "ManifestError",
     "MergeError",
     "OverrideSet",
+    "RemoteResultCache",
     "ResultCache",
+    "ResultCacheBackend",
     "RunManifest",
     "SharedTraceStore",
     "SweepCell",
@@ -123,12 +170,15 @@ __all__ = [
     "cell_seed",
     "default_cache_dir",
     "default_manifest_name",
+    "default_owner",
     "disable_profiling",
     "enable_profiling",
     "execute_cell",
     "merge_manifests",
+    "open_cache",
     "profile_tables",
     "resume_sweep",
+    "run_dispatch_worker",
     "run_grid",
     "run_sweep",
     "shutdown_worker_pools",

@@ -1,0 +1,133 @@
+"""Shared result-cache backend: HTTP transport over a local read-through layer.
+
+A fleet of sweep/dispatch workers shares finished cells through one
+content-addressed namespace: the same sha256 cache keys the on-disk store
+uses, served over a trivially small HTTP surface (``GET``/``PUT`` of the raw
+entry bytes).  The protocol is deliberately S3-shaped — one object per key,
+immutable content, idempotent writes — so the reference server
+(:mod:`repro.runner.cache_server`) can be swapped for any object store that
+speaks the same two verbs.
+
+Read path: local layer first, then the remote; a remote hit is validated
+(schema version, key, loadable result record) and written through to the
+local layer so it is a disk read next time — and so ``repro merge`` /
+``repro report`` find every result on disk next to the manifest.
+
+Write path: local layer first (the durable copy the manifest points at),
+then an upload.  Remote failures are *counted, never raised*: a dead or
+misbehaving cache server degrades the fleet to local-only caching, it cannot
+fail a sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import urllib.error
+import urllib.request
+from typing import Dict, Optional, Union
+
+from repro.platforms.base import PlatformResult
+from repro.runner.cache import (
+    LocalResultCache,
+    ResultCacheBackend,
+    validate_entry_bytes,
+)
+
+#: Seconds before a remote request is abandoned (counted as a remote error).
+DEFAULT_TIMEOUT_SECONDS = 5.0
+
+
+class RemoteResultCache(ResultCacheBackend):
+    """A remote content-addressed store with a local read-through layer.
+
+    ``root`` is the *local* layer's directory: everything this backend
+    returns or stores exists there, which keeps manifests, merge and report
+    oblivious to where a result originally came from.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        local_root: Union[os.PathLike, str, None] = None,
+        timeout_seconds: float = DEFAULT_TIMEOUT_SECONDS,
+    ) -> None:
+        if not url.startswith(("http://", "https://")):
+            raise ValueError(
+                f"remote cache URL must be http(s)://, got {url!r}")
+        self.url = url.rstrip("/")
+        self.local = LocalResultCache(local_root)
+        self.root = self.local.root
+        self.timeout_seconds = timeout_seconds
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        #: Hits served by the remote (a subset of ``hits``).
+        self.remote_hits = 0
+        #: Uploads acknowledged by the remote (a subset of ``stores``).
+        self.remote_stores = 0
+        #: Failed/timed-out/invalid remote interactions (degraded, not fatal).
+        self.remote_errors = 0
+
+    # ------------------------------------------------------------------
+    def _entry_url(self, key: str) -> str:
+        return f"{self.url}/cache/{key}"
+
+    def _download(self, key: str) -> Optional[bytes]:
+        request = urllib.request.Request(self._entry_url(key), method="GET")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_seconds) as reply:
+                return reply.read()
+        except urllib.error.HTTPError as error:
+            if error.code != 404:
+                self.remote_errors += 1
+            return None
+        except (urllib.error.URLError, OSError, ValueError):
+            self.remote_errors += 1
+            return None
+
+    def _upload(self, key: str, data: bytes) -> bool:
+        request = urllib.request.Request(
+            self._entry_url(key),
+            data=data,
+            method="PUT",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_seconds):
+                return True
+        except (urllib.error.URLError, OSError, ValueError):
+            self.remote_errors += 1
+            return False
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[PlatformResult]:
+        """Local layer first, then a validated remote read-through."""
+        result = self.local.get(key)
+        if result is not None:
+            self.hits += 1
+            return result
+        data = self._download(key)
+        if data is not None:
+            payload = validate_entry_bytes(key, data)
+            if payload is None:
+                # The remote served bytes that do not validate: count the
+                # defect and treat it as a miss — never trust, never store.
+                self.remote_errors += 1
+            else:
+                self.local.store_raw(key, data)
+                self.hits += 1
+                self.remote_hits += 1
+                return PlatformResult.from_record(payload["result"])
+        self.misses += 1
+        return None
+
+    def put(self, key: str, result: PlatformResult, cell_descriptor: Dict[str, object]) -> None:
+        """Durable local store, then a best-effort upload of the same bytes."""
+        self.local.put(key, result, cell_descriptor)
+        self.stores += 1
+        data = self.local.load_raw(key)
+        if data is not None and self._upload(key, data):
+            self.remote_stores += 1
+
+    def describe(self) -> str:
+        return f"{self.url} (read-through {self.root})"

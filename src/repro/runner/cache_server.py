@@ -1,0 +1,189 @@
+"""In-repo reference result-cache server (tests, CI, single-box fleets).
+
+A deliberately tiny HTTP object store speaking the two verbs
+:class:`~repro.runner.cache_remote.RemoteResultCache` needs::
+
+    GET /cache/<key>     -> 200 + entry bytes | 404
+    PUT /cache/<key>     -> 204 (validated + stored atomically) | 400
+    GET /healthz         -> 200 "ok"
+    GET /stats           -> 200 JSON {entries, gets, puts, rejected}
+
+Storage reuses the :class:`~repro.runner.cache.LocalResultCache` layout
+(``<root>/<key[:2]>/<key>.json``), so a server root *is* a valid local cache
+directory — it can be seeded from one, inspected like one, and pointed at by
+``repro merge`` directly.  Uploads are validated with the same gate the
+read-through layer applies (schema version, key match, loadable result
+record) and written atomically; a malformed or mismatched upload is rejected
+with 400 and stores nothing.
+
+Run it standalone::
+
+    python -m repro.runner.cache_server --root cache-server-root --port 8123
+
+or in-process for tests/CI via :func:`start_cache_server`, which binds an
+ephemeral port and returns the serving URL.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple, Union
+
+from repro.runner.cache import LocalResultCache, validate_entry_bytes
+
+#: Only well-formed content hashes may name entries (no path traversal).
+_KEY_PATTERN = re.compile(r"^[0-9a-f]{64}$")
+
+#: Uploads beyond this are rejected outright (entries are small JSON records;
+#: a runaway body should fail fast, not fill the disk).
+MAX_ENTRY_BYTES = 64 * 1024 * 1024
+
+
+class _CacheRequestHandler(BaseHTTPRequestHandler):
+    """One request; the store and counters live on the server object."""
+
+    server: "CacheServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    def _reply(self, status: int, body: bytes = b"",
+               content_type: str = "text/plain") -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if body:
+            self.wfile.write(body)
+
+    def _entry_key(self) -> Optional[str]:
+        prefix = "/cache/"
+        if not self.path.startswith(prefix):
+            return None
+        key = self.path[len(prefix):]
+        if not _KEY_PATTERN.match(key):
+            return None
+        return key
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        if self.path == "/healthz":
+            self._reply(200, b"ok")
+            return
+        if self.path == "/stats":
+            body = json.dumps(self.server.stats(), sort_keys=True).encode()
+            self._reply(200, body, content_type="application/json")
+            return
+        key = self._entry_key()
+        if key is None:
+            self._reply(404, b"unknown path")
+            return
+        self.server.gets += 1
+        data = self.server.store.load_raw(key)
+        if data is None:
+            self._reply(404, b"no such entry")
+            return
+        self._reply(200, data, content_type="application/json")
+
+    def do_PUT(self) -> None:  # noqa: N802 (http.server naming)
+        key = self._entry_key()
+        if key is None:
+            self._reply(404, b"unknown path")
+            return
+        self.server.puts += 1
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if not 0 < length <= MAX_ENTRY_BYTES:
+            self.server.rejected += 1
+            self._reply(400, b"bad content length")
+            return
+        data = self.rfile.read(length)
+        if validate_entry_bytes(key, data) is None:
+            self.server.rejected += 1
+            self._reply(400, b"entry does not validate for this key")
+            return
+        self.server.store.store_raw(key, data)
+        self._reply(204)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+
+class CacheServer(ThreadingHTTPServer):
+    """The reference server: a :class:`LocalResultCache` behind two verbs."""
+
+    daemon_threads = True
+
+    def __init__(self, root: Union[os.PathLike, str],
+                 address: Tuple[str, int] = ("127.0.0.1", 0),
+                 verbose: bool = False) -> None:
+        super().__init__(address, _CacheRequestHandler)
+        self.store = LocalResultCache(root)
+        self.verbose = verbose
+        self.gets = 0
+        self.puts = 0
+        self.rejected = 0
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self.store),
+            "gets": self.gets,
+            "puts": self.puts,
+            "rejected": self.rejected,
+        }
+
+
+def start_cache_server(
+    root: Union[os.PathLike, str],
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> Tuple[CacheServer, threading.Thread]:
+    """Serve ``root`` on a daemon thread; bind an ephemeral port by default.
+
+    Returns ``(server, thread)``; the serving URL is ``server.url`` and
+    shutdown is ``server.shutdown()`` (the thread then joins on its own).
+    """
+    server = CacheServer(root, (host, port))
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-cache-server", daemon=True)
+    thread.start()
+    return server, thread
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Reference HTTP result-cache server (see module docstring)")
+    parser.add_argument("--root", default="cache-server-root",
+                        help="storage directory (LocalResultCache layout)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8123)
+    parser.add_argument("--verbose", action="store_true",
+                        help="log every request to stderr")
+    options = parser.parse_args(argv)
+    server = CacheServer(options.root, (options.host, options.port),
+                         verbose=options.verbose)
+    print(f"serving result cache {options.root} on {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

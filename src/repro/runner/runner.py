@@ -29,7 +29,7 @@ from multiprocessing import resource_tracker, shared_memory
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.platforms.base import GPUSSDPlatform, PlatformResult
-from repro.runner.cache import ResultCache
+from repro.runner.cache import ResultCache, ResultCacheBackend, open_cache
 from repro.runner.spec import SweepCell, SweepShard, SweepSpec, build_cell_trace
 
 
@@ -520,23 +520,17 @@ class SweepRunner:
     def __init__(
         self,
         workers: int = 1,
-        cache: Union[ResultCache, os.PathLike, str, None, bool] = False,
+        cache: Union[ResultCacheBackend, os.PathLike, str, None, bool] = False,
     ) -> None:
-        """``cache`` may be a :class:`ResultCache`, a directory path, ``True``
-        for the default location, or ``False``/``None`` (default) to disable.
+        """``cache`` may be any :class:`ResultCacheBackend` (local or
+        remote), a directory path, an ``http(s)://`` URL, ``True`` for the
+        default local location, or ``False``/``None`` (default) to disable.
 
         Memoization is opt-in so programmatic callers never write to disk
         unless they asked to; the CLI opts in by default.
         """
         self.workers = max(1, int(workers))
-        if cache is False or cache is None:
-            self.cache: Optional[ResultCache] = None
-        elif isinstance(cache, ResultCache):
-            self.cache = cache
-        elif cache is True:
-            self.cache = ResultCache()
-        else:
-            self.cache = ResultCache(cache)
+        self.cache: Optional[ResultCacheBackend] = open_cache(cache)
 
     # ------------------------------------------------------------------
     def run(
@@ -679,7 +673,7 @@ class SweepRunner:
 def run_sweep(
     spec: SweepSpec,
     workers: int = 1,
-    cache: Union[ResultCache, os.PathLike, str, None, bool] = False,
+    cache: Union[ResultCacheBackend, os.PathLike, str, None, bool] = False,
 ) -> SweepResult:
     """One-call programmatic entry point (cache disabled unless requested)."""
     return SweepRunner(workers=workers, cache=cache).run(spec)
@@ -695,7 +689,7 @@ def run_grid(
     memory_instructions_per_warp: int = 64,
     base_config=None,
     workers: int = 1,
-    cache: Union[ResultCache, os.PathLike, str, None, bool] = False,
+    cache: Union[ResultCacheBackend, os.PathLike, str, None, bool] = False,
 ) -> Dict[str, Dict[str, PlatformResult]]:
     """Run a platform x workload grid, pivoted to ``{workload: {platform: result}}``.
 

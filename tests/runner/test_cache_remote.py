@@ -1,0 +1,165 @@
+"""Remote result cache: HTTP round-trip, read-through, validation, degradation.
+
+Every test runs the in-repo reference server (``repro.runner.cache_server``)
+on an ephemeral loopback port — no network beyond 127.0.0.1, no external
+processes.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.runner import (
+    LocalResultCache,
+    RemoteResultCache,
+    SweepSpec,
+    open_cache,
+    run_sweep,
+)
+from repro.runner.cache_server import start_cache_server
+
+_KEY = "0" * 64
+
+
+def _small_spec(**kwargs):
+    defaults = dict(
+        platforms=["ZnG-base"],
+        workloads=["betw-back"],
+        scale=0.05,
+        warps_per_sm=2,
+        memory_instructions_per_warp=12,
+    )
+    defaults.update(kwargs)
+    return SweepSpec.create(**defaults)
+
+
+@pytest.fixture()
+def server(tmp_path):
+    server, _thread = start_cache_server(tmp_path / "server-root")
+    yield server
+    server.shutdown()
+
+
+def _http(method, url, data=None):
+    request = urllib.request.Request(url, data=data, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=5) as reply:
+            return reply.status, reply.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+class TestCacheServer:
+    def test_healthz_and_stats(self, server):
+        status, body = _http("GET", f"{server.url}/healthz")
+        assert status == 200 and body == b"ok"
+        status, body = _http("GET", f"{server.url}/stats")
+        assert status == 200
+        assert json.loads(body)["entries"] == 0
+
+    def test_get_unknown_key_is_404(self, server):
+        status, _ = _http("GET", f"{server.url}/cache/{_KEY}")
+        assert status == 404
+
+    def test_malformed_keys_are_rejected_without_touching_disk(self, server):
+        for bad in ("..%2F..%2Fetc%2Fpasswd", "short", "Z" * 64):
+            status, _ = _http("GET", f"{server.url}/cache/{bad}")
+            assert status in (400, 404)
+            status, _ = _http("PUT", f"{server.url}/cache/{bad}", b"{}")
+            assert status in (400, 404)
+        assert len(server.store) == 0
+
+    def test_invalid_payload_put_is_rejected_and_counted(self, server):
+        status, _ = _http("PUT", f"{server.url}/cache/{_KEY}", b"not json")
+        assert status == 400
+        status, _ = _http(
+            "PUT", f"{server.url}/cache/{_KEY}",
+            json.dumps({"version": -1, "key": _KEY}).encode())
+        assert status == 400
+        assert server.rejected == 2
+        assert len(server.store) == 0
+
+
+class TestRemoteResultCache:
+    def test_url_validation_and_factory(self, tmp_path):
+        with pytest.raises(ValueError):
+            RemoteResultCache("ftp://nope")
+        # An unsupported scheme must not silently become a local directory
+        # literally named "ftp:/nope".
+        with pytest.raises(ValueError, match="scheme"):
+            open_cache("ftp://nope")
+        backend = open_cache("http://127.0.0.1:1/", local_root=tmp_path)
+        assert isinstance(backend, RemoteResultCache)
+        assert backend.root == tmp_path
+
+    def test_sweep_results_travel_through_the_server(self, tmp_path, server):
+        spec = _small_spec()
+        writer = RemoteResultCache(server.url, local_root=tmp_path / "host-a")
+        first = run_sweep(spec, workers=1, cache=writer)
+        assert first.cache_hits == 0
+        assert writer.remote_stores == len(spec)
+        assert server.puts == len(spec)
+
+        # A different host (fresh local layer) is served by the remote...
+        reader = RemoteResultCache(server.url, local_root=tmp_path / "host-b")
+        second = run_sweep(spec, workers=1, cache=reader)
+        assert second.cache_hits == len(spec)
+        assert reader.remote_hits == len(spec)
+        # ...identically (the entries are content-addressed and validated).
+        assert first.table("ipc") == second.table("ipc")
+
+        # Read-through: the remote hit is now on host-b's disk, so a third
+        # run touches the server zero further times.
+        gets_before = server.gets
+        third = run_sweep(spec, workers=1, cache=reader)
+        assert third.cache_hits == len(spec)
+        assert server.gets == gets_before
+
+    def test_invalid_remote_bytes_are_never_trusted(self, tmp_path, server):
+        # Hand the server's store a corrupt entry directly on disk.
+        store = server.store
+        path = store.path_for(_KEY)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"version": 0, "key": _KEY}))
+        cache = RemoteResultCache(server.url, local_root=tmp_path)
+        assert cache.get(_KEY) is None
+        assert cache.remote_errors == 1
+        assert cache.local.get(_KEY) is None  # never written through
+
+    def test_dead_server_degrades_to_local_only(self, tmp_path):
+        spec = _small_spec()
+        cache = RemoteResultCache(
+            "http://127.0.0.1:1", local_root=tmp_path, timeout_seconds=0.2)
+        result = run_sweep(spec, workers=1, cache=cache)
+        assert len(result) == len(spec)  # the sweep itself never fails
+        assert cache.remote_errors > 0
+        # The durable local copy exists and serves the re-run.
+        rerun = run_sweep(spec, workers=1, cache=cache)
+        assert rerun.cache_hits == len(spec)
+
+    def test_describe_names_both_layers(self, tmp_path, server):
+        cache = RemoteResultCache(server.url, local_root=tmp_path)
+        assert server.url in cache.describe()
+        assert str(tmp_path) in cache.describe()
+
+
+class TestLocalRawTransport:
+    def test_raw_round_trip_preserves_bytes(self, tmp_path):
+        spec = _small_spec()
+        cache = LocalResultCache(tmp_path)
+        run_sweep(spec, workers=1, cache=cache)
+        [key] = [cell.cache_key() for cell in spec.cells()]
+        data = cache.load_raw(key)
+        assert data is not None
+
+        other = LocalResultCache(tmp_path / "copy")
+        assert other.store_raw(key, data)
+        assert other.load_raw(key) == data
+        assert other.get(key) is not None
+
+    def test_store_raw_rejects_garbage(self, tmp_path):
+        cache = LocalResultCache(tmp_path)
+        assert not cache.store_raw(_KEY, b"not a cache entry")
+        assert cache.load_raw(_KEY) is None

@@ -1,0 +1,168 @@
+"""Property tests for the lease-queue state machine.
+
+The protocol's whole job is three invariants, each driven here by
+hypothesis-generated claim/heartbeat/expire/steal/commit interleavings over
+an injectable clock:
+
+* **no cell is ever lost** — whatever happened, every cell can still be
+  driven to done (an orphaned lease only costs the TTL);
+* **no committed cell runs twice** — once done, claims and re-commits are
+  refused forever;
+* **steals are race-free** — of N workers racing for one expired lease,
+  exactly one wins, even with real threads.
+"""
+
+import hashlib
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runner.dispatch import LeaseQueue
+
+_TTL = 10.0
+_WORKERS = ["w0", "w1", "w2"]
+_KEYS = [hashlib.sha256(str(i).encode()).hexdigest() for i in range(3)]
+
+# One abstract protocol event: (action, worker index, key index, seconds).
+_EVENTS = st.tuples(
+    st.sampled_from(["claim", "heartbeat", "commit", "abandon", "advance"]),
+    st.integers(min_value=0, max_value=len(_WORKERS) - 1),
+    st.integers(min_value=0, max_value=len(_KEYS) - 1),
+    st.sampled_from([0.0, 1.0, _TTL / 2, _TTL + 1.0]),
+)
+
+
+def _fresh_queue(tmp_path, clock):
+    queue = LeaseQueue(tmp_path, lease_ttl_seconds=_TTL, clock=lambda: clock[0])
+    queue.leases_dir.mkdir(parents=True, exist_ok=True)
+    queue.done_dir.mkdir(parents=True, exist_ok=True)
+    return queue
+
+
+class TestLeaseStateMachine:
+    @settings(max_examples=60, deadline=None)
+    @given(events=st.lists(_EVENTS, max_size=40))
+    def test_interleavings_preserve_the_three_invariants(
+        self, tmp_path_factory, events
+    ):
+        clock = [1_000_000.0]
+        queue = _fresh_queue(tmp_path_factory.mktemp("queue"), clock)
+        held = {}        # (worker, key) -> Lease currently held
+        committed = set()
+
+        for action, worker_index, key_index, seconds in events:
+            worker, key = _WORKERS[worker_index], _KEYS[key_index]
+            if action == "advance":
+                clock[0] += seconds
+            elif action == "claim":
+                lease = queue.try_claim(key, worker)
+                if key in committed:
+                    assert lease is None, "claimed an already-committed cell"
+                if lease is not None:
+                    # The win must have been legitimate: nobody else holds a
+                    # live (unexpired) lease on this key.
+                    for (other, other_key), other_lease in held.items():
+                        if other_key != key or other == worker:
+                            continue
+                        age = clock[0] - other_lease.path.stat().st_mtime
+                        assert age > _TTL, (
+                            "stole a lease that was still alive")
+                    held = {
+                        pair: lease_
+                        for pair, lease_ in held.items() if pair[1] != key
+                    }
+                    held[(worker, key)] = lease
+            elif action == "heartbeat":
+                lease = held.get((worker, key))
+                if lease is not None:
+                    queue.heartbeat(lease)
+            elif action == "abandon":
+                # Crash simulation: the worker forgets its lease and never
+                # heartbeats again; only the TTL may release the cell.
+                held.pop((worker, key), None)
+            elif action == "commit":
+                lease = held.pop((worker, key), None)
+                if lease is None:
+                    continue
+                won = queue.commit(key, worker, lease.generation)
+                if key in committed:
+                    assert not won, "a cell was committed twice"
+                if won:
+                    committed.add(key)
+                assert queue.is_done(key) or not won
+
+        # Invariant: nothing is ever lost.  Whatever mess the interleaving
+        # left (orphaned leases, half-done work), a finisher that waits out
+        # one TTL can always drive every cell to done.
+        clock[0] += _TTL + 1.0
+        for key in _KEYS:
+            if key in committed:
+                assert queue.is_done(key)
+                continue
+            lease = queue.try_claim(key, "finisher")
+            assert lease is not None, "an uncommitted cell became unclaimable"
+            assert queue.commit(key, "finisher", lease.generation)
+        assert queue.all_done(_KEYS)
+
+        # Invariant: done is final.  No claim, no second commit, ever.
+        clock[0] += _TTL + 1.0
+        for key in _KEYS:
+            assert queue.try_claim(key, "late") is None
+            assert not queue.commit(key, "late", 99)
+
+    @settings(max_examples=25, deadline=None)
+    @given(thieves=st.integers(min_value=2, max_value=6))
+    def test_threads_racing_for_one_expired_lease_one_winner(
+        self, tmp_path_factory, thieves
+    ):
+        clock = [1_000_000.0]
+        queue = _fresh_queue(tmp_path_factory.mktemp("race"), clock)
+        key = _KEYS[0]
+        assert queue.try_claim(key, "victim") is not None
+        clock[0] += _TTL + 1.0  # the victim dies silently; lease expires
+
+        barrier = threading.Barrier(thieves)
+        wins = []
+
+        def race(name):
+            barrier.wait()
+            lease = queue.try_claim(key, name)
+            if lease is not None:
+                wins.append(lease)
+
+        threads = [
+            threading.Thread(target=race, args=(f"thief-{i}",))
+            for i in range(thieves)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(wins) == 1, f"{len(wins)} thieves won the same steal"
+        assert wins[0].generation == 2
+
+    def test_generation_numbers_record_the_steal_chain(self, tmp_path):
+        clock = [1_000_000.0]
+        queue = _fresh_queue(tmp_path, clock)
+        key = _KEYS[0]
+        for generation in (1, 2, 3):
+            lease = queue.try_claim(key, f"owner-{generation}")
+            assert lease is not None and lease.generation == generation
+            assert queue.try_claim(key, "interloper") is None  # live lease
+            clock[0] += _TTL + 1.0
+        state = queue.current_lease(key)
+        assert state["generation"] == 3 and state["expired"]
+
+    def test_heartbeat_keeps_a_lease_alive_past_the_ttl(self, tmp_path):
+        clock = [1_000_000.0]
+        queue = _fresh_queue(tmp_path, clock)
+        key = _KEYS[0]
+        lease = queue.try_claim(key, "steady")
+        for _ in range(5):
+            clock[0] += _TTL / 2
+            queue.heartbeat(lease)
+            assert queue.try_claim(key, "thief") is None
+        clock[0] += _TTL + 1.0  # heartbeats stop; now it is stealable
+        assert queue.try_claim(key, "thief") is not None
