@@ -13,6 +13,7 @@ Usage::
     python -m repro run <platform> <read_app> <write_app>   # one platform x mix
     python -m repro sweep [options]     # parallel, cached experiment sweep
     python -m repro dispatch [options]  # lease-based distributed sweep worker
+    python -m repro status [options]    # live dispatch-fleet / sweep status
     python -m repro merge <manifest>... # fold shard manifests into one result
     python -m repro config [options]    # inspect the configuration space
     python -m repro workloads [options] # inspect the workload-family registry
@@ -95,6 +96,38 @@ Dispatch options::
         python -m repro dispatch --preset fig10 &   # worker 2
         wait
         python -m repro merge .repro-cache/manifest.json
+
+Status options::
+
+    Renders the live state of every dispatch queue under the cache root —
+    committed/pending cells, active leases with heartbeat ages, per-worker
+    tallies, an ETA from the completed-cell rate — purely by reading the
+    on-disk coordination files (never perturbs a running fleet)::
+
+        python -m repro status                    # one snapshot, default cache
+        python -m repro status --watch            # refresh until complete/^C
+
+    --cache-dir DIR       cache root to scan (default: .repro-cache or
+                          $REPRO_CACHE_DIR); queues live under
+                          <cache-dir>/dispatch/
+    --queue DIR           inspect one specific queue directory (repeatable)
+    --manifest FILE       also summarise a sweep run manifest (repeatable;
+                          default: every manifest*.json in the cache root)
+    --watch               refresh every --interval seconds until every queue
+                          completes (or Ctrl-C)
+    --interval S          --watch refresh period (default: 2)
+    --json                machine-readable snapshot instead of text
+    --validate            additionally validate every telemetry record under
+                          <cache-dir>/telemetry against repro-telemetry-v1;
+                          exit 1 on any violation (the CI telemetry gate)
+
+Telemetry (REPRO_TELEMETRY=1)::
+
+    Set ``REPRO_TELEMETRY=1`` to make sweep/dispatch emit structured spans
+    (sweep -> cell -> trace-build/simulate), per-cell component counters and
+    dispatch events (e.g. ``lease.stolen``) to per-worker JSONL files under
+    ``<cache-dir>/telemetry/`` (schema ``repro-telemetry-v1``).  Disabled by
+    default and bit-identical when off — see ``repro.telemetry``.
 
 Report options (after one or more manifest paths)::
 
@@ -566,12 +599,17 @@ def _cmd_sweep(args: List[str]) -> int:
         return 2
 
     profile_text = None
+    profile_forced_workers = None
     if profile:
         from repro.runner import enable_profiling
 
         if workers != 1:
-            print(f"--profile forces --workers 1 (was {workers}); pool "
-                  f"workers cannot be profiled from the parent process")
+            # To stderr: this changes the run's parallelism, and stdout is
+            # the sweep table that scripts parse.
+            print(f"note: --profile forces --workers 1 (was {workers}); pool "
+                  f"workers cannot be profiled from the parent process",
+                  file=sys.stderr)
+            profile_forced_workers = workers
             workers = 1
         enable_profiling()
 
@@ -613,6 +651,13 @@ def _cmd_sweep(args: List[str]) -> int:
             )
             job = spec if shard_coords is None else spec.shard(*shard_coords)
             runner = SweepRunner(workers=workers, cache=cache)
+            # Pin the telemetry sink dir before any pool forks, so every
+            # worker's per-process event file lands in the same place.
+            from repro.telemetry import ensure_sink_env
+
+            # `is not None`: an empty LocalResultCache is falsy (__len__).
+            ensure_sink_env(
+                runner.cache.root if runner.cache is not None else None)
             manifest_path = None
             if manifest_arg is not None:
                 manifest_path = manifest_arg
@@ -644,6 +689,13 @@ def _cmd_sweep(args: List[str]) -> int:
             profile_text = profile_tables()
             disable_profiling()
 
+    if profile_forced_workers is not None:
+        # Persist the override in the perf report: a profiled run's
+        # throughput is serial, and the trajectory must say so.
+        result.runtime_notes.append(
+            f"profile_forced_workers=1: --profile forced --workers 1 "
+            f"(requested {profile_forced_workers}); throughput numbers "
+            f"measure a serial run.")
     _print_sweep_table(result)
     shard_note = ""
     if result.shard_count is not None:
@@ -790,6 +842,9 @@ def _cmd_dispatch(args: List[str]) -> int:
         if poll_interval is not None:
             worker_kwargs["poll_interval_seconds"] = poll_interval
         worker = DispatchWorker(spec, **worker_kwargs)
+        from repro.telemetry import ensure_sink_env
+
+        ensure_sink_env(worker.cache.root)
         report = worker.run()
     except DispatchError as error:
         print(error.args[0] if error.args else error)
@@ -820,6 +875,119 @@ def _cmd_dispatch(args: List[str]) -> int:
               f"for this queue)")
         return 1
     return 0
+
+
+def _cmd_status(args: List[str]) -> int:
+    """Live dispatch-fleet / sweep status from the on-disk coordination files."""
+    import json as json_module
+    import time as time_module
+    from pathlib import Path
+
+    from repro.runner.cache import default_cache_dir
+    from repro.telemetry.status import (
+        discover_queue_dirs,
+        manifest_status,
+        queue_status,
+        render_manifest_status,
+        render_queue_status,
+    )
+
+    cache_dir = None
+    queue_args: List[str] = []
+    manifest_args: List[str] = []
+    watch = False
+    interval = 2.0
+    validate = False
+    as_json = False
+    index = 0
+    while index < len(args):
+        flag = args[index]
+        if flag in ("--watch", "--validate", "--json"):
+            watch = watch or flag == "--watch"
+            validate = validate or flag == "--validate"
+            as_json = as_json or flag == "--json"
+            index += 1
+            continue
+        if flag.startswith("--") and index + 1 >= len(args):
+            print(f"missing value for {flag}")
+            return 2
+        if flag == "--cache-dir":
+            cache_dir = args[index + 1]
+            index += 2
+        elif flag == "--queue":
+            queue_args.append(args[index + 1])
+            index += 2
+        elif flag == "--manifest":
+            manifest_args.append(args[index + 1])
+            index += 2
+        elif flag == "--interval":
+            try:
+                interval = float(args[index + 1])
+            except ValueError:
+                print(f"--interval expects a number, got {args[index + 1]!r}")
+                return 2
+            index += 2
+        elif flag.startswith("--"):
+            print(f"unknown status option {flag!r}")
+            return 2
+        else:
+            print(f"unexpected argument {flag!r} (use --queue/--manifest)")
+            return 2
+
+    root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+
+    def snapshot() -> int:
+        """Render one status pass; exit 0 iff everything found is complete."""
+        queue_dirs = [Path(q) for q in queue_args] or discover_queue_dirs(root)
+        statuses = [queue_status(directory) for directory in queue_dirs]
+        manifest_paths = [Path(m) for m in manifest_args] or sorted(
+            root.glob("manifest*.json"))
+        manifests = [manifest_status(path) for path in manifest_paths]
+        if as_json:
+            print(json_module.dumps(
+                {"queues": statuses,
+                 "manifests": [m for m in manifests if m is not None]},
+                indent=2, sort_keys=True))
+        else:
+            blocks = [render_queue_status(status) for status in statuses]
+            blocks.extend(
+                render_manifest_status(status) if status is not None
+                else f"manifest {path}: unreadable"
+                for status, path in zip(manifests, manifest_paths))
+            if not blocks:
+                print(f"no dispatch queues under {root / 'dispatch'} "
+                      f"(and no --queue/--manifest given)")
+            print("\n\n".join(blocks))
+        done = all(status["complete"] for status in statuses) and all(
+            status is not None and status["complete"] for status in manifests)
+        return 0 if (statuses or manifests) and done else 1
+
+    if watch:
+        try:
+            while True:
+                code = snapshot()
+                if code == 0:
+                    return 0
+                time_module.sleep(interval)
+                print()
+        except KeyboardInterrupt:
+            return 130
+    code = snapshot()
+
+    if validate:
+        from repro.telemetry import ENV_DIR, validate_events_dir
+        import os
+
+        telemetry_dir = Path(os.environ.get(ENV_DIR) or root / "telemetry")
+        count, problems = validate_events_dir(telemetry_dir)
+        for problem in problems:
+            print(f"TELEMETRY VIOLATION: {problem}")
+        print(f"telemetry: {count} records under {telemetry_dir}, "
+              f"{len(problems)} schema violation(s)")
+        if problems:
+            return 1
+    # One-shot status is informational: report, don't fail, on incomplete.
+    return 0 if code in (0, 1) else code
 
 
 def _cmd_merge(args: List[str]) -> int:
@@ -1131,6 +1299,7 @@ COMMANDS = {
     "report": _cmd_report,
     "sweep": _cmd_sweep,
     "dispatch": _cmd_dispatch,
+    "status": _cmd_status,
     "merge": _cmd_merge,
     "config": _cmd_config,
     "workloads": _cmd_workloads,

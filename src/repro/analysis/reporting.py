@@ -485,6 +485,24 @@ def result_provenance(result, manifests=None) -> Dict[str, object]:
                 f"{dispatch.get('executed', 0)} executed, "
                 f"{dispatch.get('cache_served', 0)} from cache, "
                 f"{dispatch.get('stolen_leases', 0)} stolen lease(s)")
+            remote = dispatch.get("remote_cache")
+            if isinstance(remote, dict):
+                health = ("DEGRADED" if remote.get("degraded")
+                          else "healthy")
+                provenance[f"remote-cache[{summary['shard']}]"] = (
+                    f"{remote.get('url', '?')} {health}: "
+                    f"{remote.get('remote_hits', 0)} remote hit(s), "
+                    f"{remote.get('remote_stores', 0)} upload(s), "
+                    f"{remote.get('remote_errors', 0)} error(s) "
+                    f"(reported by {remote.get('reported_by', '?')})")
+    cache_stats = getattr(result, "cache_stats", None) or {}
+    if "remote_errors" in cache_stats:
+        health = "DEGRADED" if cache_stats.get("degraded") else "healthy"
+        provenance["remote-cache"] = (
+            f"{cache_stats.get('url', '?')} {health}: "
+            f"{cache_stats.get('remote_hits', 0)} remote hit(s), "
+            f"{cache_stats.get('remote_stores', 0)} upload(s), "
+            f"{cache_stats.get('remote_errors', 0)} error(s)")
     return provenance
 
 
@@ -496,12 +514,17 @@ def write_report(
     html_report: bool = True,
     bench_path: Union[os.PathLike, str, None] = None,
     normalize_to: str = "ZnG",
+    telemetry_dirs: Optional[Sequence[Union[os.PathLike, str]]] = None,
 ) -> Dict[str, Path]:
     """Emit the full artifact set for a sweep result into ``out_dir``.
 
     Returns ``{artifact name: path}``.  CSV bytes are a pure function of
     the result's numbers; the HTML embeds provenance and may list
     machine-local detail (paths, elapsed), so only the CSVs are gated.
+    ``telemetry_dirs`` adds ``telemetry/spans.csv`` + ``telemetry/
+    timeline.html`` rendered from the event logs found there (skipped when
+    empty; the golden gate only compares top-level CSVs, so span timings —
+    wall-clock, machine-local — never sit next to the gated numbers).
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
@@ -509,6 +532,11 @@ def write_report(
     written: Dict[str, Path] = {}
     for name, (header, rows) in tables.items():
         written[f"{name}.csv"] = write_csv(out / f"{name}.csv", header, rows)
+
+    if telemetry_dirs:
+        from repro.telemetry.timeline import write_timeline_artifacts
+
+        written.update(write_timeline_artifacts(telemetry_dirs, out))
 
     plot_files: List[str] = []
     plot_note = "plots disabled"
@@ -534,11 +562,29 @@ def report_from_manifests(
     out_dir: Union[os.PathLike, str],
     **kwargs,
 ) -> Dict[str, Path]:
-    """Merge manifests (completeness-verified) and emit the artifact set."""
+    """Merge manifests (completeness-verified) and emit the artifact set.
+
+    Telemetry event logs are discovered automatically: each manifest's cache
+    root (or its own parent directory) is probed for a ``telemetry/``
+    directory with event files, so a dispatch fleet's report grows a
+    swimlane without any extra flag.
+    """
     from repro.runner.manifest import RunManifest, merge_manifests
 
     result = merge_manifests(manifest_paths)
     manifests = [RunManifest.load(path) for path in manifest_paths]
+    if "telemetry_dirs" not in kwargs:
+        discovered: List[Path] = []
+        candidates: List[Path] = []
+        for manifest, path in zip(manifests, manifest_paths):
+            cache_dir = getattr(manifest, "cache_dir", "") or ""
+            if cache_dir:
+                candidates.append(Path(cache_dir) / "telemetry")
+            candidates.append(Path(path).resolve().parent / "telemetry")
+        for candidate in candidates:
+            if candidate.is_dir() and candidate not in discovered:
+                discovered.append(candidate)
+        kwargs["telemetry_dirs"] = discovered
     return write_report(result, out_dir, manifests=manifests, **kwargs)
 
 

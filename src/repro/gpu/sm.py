@@ -26,6 +26,7 @@ from repro.gpu.mshr import MSHR
 from repro.gpu.warp import Instruction, WarpTrace
 from repro.sim.request import AccessType, MemoryRequest, RequestResult
 from repro.sim.engine import CalendarQueue, Resource
+from repro.telemetry import core as _telemetry
 
 #: Signature of the platform memory hook: (request, now) -> RequestResult.
 MemoryAccessFn = Callable[[MemoryRequest, float], RequestResult]
@@ -278,6 +279,10 @@ class GPUCore:
         self.config = config
         self.backend = backend
         self.sms = [StreamingMultiprocessor(i, config) for i in range(config.num_sms)]
+        #: Deepest the event queue got during the last :meth:`run` (telemetry
+        #: only — sampled when tracing is enabled, 0 otherwise; never enters
+        #: the result record).
+        self.last_max_queue_depth = 0
 
     def sm(self, index: int) -> StreamingMultiprocessor:
         return self.sms[index % len(self.sms)]
@@ -324,7 +329,16 @@ class GPUCore:
 
         final_cycle = 0.0
         events = 0
+        # Event-loop depth is sampled only when telemetry is armed: the flag
+        # is hoisted out of the loop so the disabled path pays one bool test
+        # per event and the numbers themselves are identical either way.
+        trace_depth = _telemetry.enabled()
+        max_depth = 0
         while size():
+            if trace_depth:
+                depth = size()
+                if depth > max_depth:
+                    max_depth = depth
             ready, _, trace, position = pop()
             events += 1
             sm = self.sm(trace.sm_id)
@@ -351,6 +365,7 @@ class GPUCore:
             push((next_ready, sequence, trace, position + 1))
             sequence += 1
 
+        self.last_max_queue_depth = max_depth
         total_instructions = sum(sm.stats.instructions for sm in self.sms)
         total_requests = sum(sm.stats.memory_requests for sm in self.sms)
         cycles = max(final_cycle, 1.0)

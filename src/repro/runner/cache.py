@@ -90,6 +90,19 @@ class ResultCacheBackend:
         """One-line human description (CLI summaries, provenance headers)."""
         return str(self.root)
 
+    def stats(self) -> Dict[str, object]:
+        """Counter snapshot for perf reports / provenance (plain JSON data).
+
+        Backends extend this with their own counters; consumers must treat
+        unknown keys as additive (the perf-report schema stays v1).
+        """
+        return {
+            "backend": type(self).__name__,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }
+
     @property
     def accesses(self) -> int:
         return self.hits + self.misses
@@ -110,6 +123,12 @@ class LocalResultCache(ResultCacheBackend):
         self.corrupt_dropped = 0
         self.tmp_collected = 0
         self._tmp_gc_done = False
+
+    def stats(self) -> Dict[str, object]:
+        snapshot = super().stats()
+        snapshot["corrupt_dropped"] = self.corrupt_dropped
+        snapshot["tmp_collected"] = self.tmp_collected
+        return snapshot
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> Path:

@@ -131,3 +131,21 @@ class RemoteResultCache(ResultCacheBackend):
 
     def describe(self) -> str:
         return f"{self.url} (read-through {self.root})"
+
+    def stats(self) -> Dict[str, object]:
+        """Counter snapshot including the remote-degradation counters.
+
+        ``remote_errors`` > 0 means some interactions silently fell back to
+        the local layer — correctness is unaffected (the local layer is the
+        durable truth) but sharing was degraded, which is exactly what the
+        perf report and dispatch provenance surface.
+        """
+        snapshot = super().stats()
+        snapshot.update({
+            "url": self.url,
+            "remote_hits": self.remote_hits,
+            "remote_stores": self.remote_stores,
+            "remote_errors": self.remote_errors,
+            "degraded": self.remote_errors > 0,
+        })
+        return snapshot

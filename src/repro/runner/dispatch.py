@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import re
 import socket
@@ -56,6 +57,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 from repro.runner.cache import ResultCacheBackend, open_cache
 from repro.runner.runner import _execute_cell_timed
 from repro.runner.spec import SweepCell, SweepSpec
+from repro.telemetry import core as _telemetry
 
 #: Queue-layout schema; bump when the on-disk protocol changes.  Mixing
 #: protocol versions across a fleet is rejected loudly at ``ensure`` time.
@@ -66,6 +68,8 @@ DISPATCH_SCHEMA = "repro-dispatch-v1"
 
 #: A lease whose heartbeat is older than this many seconds is stealable.
 DEFAULT_LEASE_TTL_SECONDS = 30.0
+
+_logger = logging.getLogger(__name__)
 
 _LEASE_NAME = re.compile(r"^(?P<key>[0-9a-f]{64})\.gen-(?P<gen>[1-9][0-9]*)\.json$")
 
@@ -229,6 +233,8 @@ class LeaseQueue:
         """
         if self.is_done(key):
             return None
+        victim_owner: Optional[str] = None
+        victim_age = 0.0
         generations = self._generations(key)
         if generations:
             generation, path = generations[-1]
@@ -240,6 +246,15 @@ class LeaseQueue:
             if age <= self.lease_ttl_seconds:
                 return None  # live lease — not stealable
             next_generation = generation + 1
+            # Read the victim's identity *before* racing for the steal: the
+            # stolen-lease event must name who lost the cell, and the file
+            # may be cleaned up once a thief wins.
+            victim_age = age
+            try:
+                victim_owner = str(
+                    json.loads(path.read_text()).get("owner", "?"))
+            except (OSError, ValueError):
+                victim_owner = "?"
         else:
             next_generation = 1
         now = self.clock()
@@ -258,6 +273,23 @@ class LeaseQueue:
         )
         if not won:
             return None
+        if victim_owner is not None:
+            # Emitted only by the winning thief, at steal time: a structured
+            # record of who lost the cell and which generation superseded it.
+            _logger.warning(
+                "lease stolen: cell %s gen %d from %s (heartbeat %.1fs stale) "
+                "by %s", key[:12], next_generation - 1, victim_owner,
+                victim_age - self.lease_ttl_seconds, owner)
+            if _telemetry.enabled():
+                _telemetry.event("lease.stolen", {
+                    "key": key,
+                    "victim_owner": victim_owner,
+                    "victim_generation": next_generation - 1,
+                    "thief_owner": owner,
+                    "generation": next_generation,
+                    "heartbeat_age_seconds": victim_age,
+                    "lease_ttl_seconds": self.lease_ttl_seconds,
+                })
         return Lease(key=key, owner=owner, generation=next_generation,
                      path=self.leases_dir / name)
 
@@ -437,6 +469,31 @@ class DispatchWorker:
     def run(self) -> DispatchReport:
         """Work the queue until the grid is committed (or budget exhausted)."""
         started = time.perf_counter()
+        # Dispatch workers are whole processes with a stable identity — make
+        # every telemetry record (and the per-process event file) carry the
+        # owner id instead of a bare host-pid.
+        _telemetry.set_worker(self.owner)
+        worker_span = _telemetry.NULL_SPAN
+        if _telemetry.enabled():
+            worker_span = _telemetry.span("dispatch.worker", {
+                "owner": self.owner,
+                "fingerprint": self.spec.fingerprint(),
+                "queue": str(self.queue.root),
+            })
+        with worker_span:
+            report = self._run_queue()
+        if _telemetry.enabled():
+            _telemetry.emit_counters({
+                "dispatch.executed": float(report.executed),
+                "dispatch.cache_served": float(report.cache_served),
+                "dispatch.failed": float(len(report.failed)),
+                "dispatch.stolen": float(report.stolen),
+                "dispatch.wasted": float(report.wasted),
+            }, attrs={"owner": self.owner})
+        report.elapsed_seconds = time.perf_counter() - started
+        return report
+
+    def _run_queue(self) -> DispatchReport:
         self.queue.ensure(self.spec)
         cells = sorted(self.spec.cells(), key=lambda cell: cell.cache_key())
         keys = [cell.cache_key() for cell in cells]
@@ -464,7 +521,6 @@ class DispatchWorker:
         report.complete = self.queue.all_done(keys)
         if report.complete:
             report.manifest_path = self._finalize()
-        report.elapsed_seconds = time.perf_counter() - started
         return report
 
     def _budget_exhausted(self, report: DispatchReport) -> bool:
@@ -554,8 +610,18 @@ class DispatchWorker:
             )
             elapsed += sum(timings.values())
         manifest.elapsed_seconds = elapsed
-        manifest.dispatch = self.queue.summary(
+        summary = self.queue.summary(
             [cell.cache_key() for cell in spec_cells])
+        cache_stats = self.cache.stats()
+        if "remote_errors" in cache_stats:
+            # Deliberate exception to the block's "pure function of done
+            # markers" rule: remote-cache health counters are the finalizing
+            # worker's local view, so they carry ``reported_by``.  Whoever
+            # writes last wins the atomic replace; every other manifest field
+            # stays byte-deterministic.
+            summary["remote_cache"] = dict(
+                cache_stats, reported_by=self.owner)
+        manifest.dispatch = summary
         return manifest.write(Path(self.cache.root) / default_manifest_name())
 
 

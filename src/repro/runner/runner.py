@@ -31,6 +31,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 from repro.platforms.base import GPUSSDPlatform, PlatformResult
 from repro.runner.cache import ResultCache, ResultCacheBackend, open_cache
 from repro.runner.spec import SweepCell, SweepShard, SweepSpec, build_cell_trace
+from repro.telemetry import core as _telemetry
 
 
 class SweepExecutionError(RuntimeError):
@@ -220,31 +221,48 @@ def profile_tables(top: int = 25) -> str:
 
 
 def _execute_cell_timed(cell: SweepCell) -> Tuple[PlatformResult, Dict[str, float]]:
-    """Run one cell, reporting where its wall time went (for --perf-report)."""
+    """Run one cell, reporting where its wall time went (for --perf-report).
+
+    With ``REPRO_TELEMETRY=1`` the run is additionally wrapped in a ``cell``
+    span with ``trace_build``/``simulate`` child spans; the attrs dict is
+    only built on that branch, so the disabled hot path allocates nothing.
+    """
     profilers = _PROFILERS
-    started = time.perf_counter()
-    if profilers is not None:
-        profile = profilers["trace_build"]
-        profile.enable()
-        try:
-            trace = _trace_for(cell)
-        finally:
-            profile.disable()
-    else:
-        trace = _trace_for(cell)
-    trace_done = time.perf_counter()
-    if profilers is not None:
-        profile = profilers["simulate"]
-        profile.enable()
-        try:
-            result = GPUSSDPlatform.execute(
-                cell.platform, trace, cell.resolved_config()
-            )
-        finally:
-            profile.disable()
-    else:
-        result = GPUSSDPlatform.execute(cell.platform, trace, cell.resolved_config())
-    finished = time.perf_counter()
+    cell_span = _telemetry.NULL_SPAN
+    if _telemetry.enabled():
+        cell_span = _telemetry.span("cell", {
+            "platform": cell.platform,
+            "workload": cell.workload,
+            "override": cell.override_set.label,
+        })
+    with cell_span:
+        started = time.perf_counter()
+        with _telemetry.span("trace_build"):
+            if profilers is not None:
+                profile = profilers["trace_build"]
+                profile.enable()
+                try:
+                    trace = _trace_for(cell)
+                finally:
+                    profile.disable()
+            else:
+                trace = _trace_for(cell)
+        trace_done = time.perf_counter()
+        with _telemetry.span("simulate"):
+            if profilers is not None:
+                profile = profilers["simulate"]
+                profile.enable()
+                try:
+                    result = GPUSSDPlatform.execute(
+                        cell.platform, trace, cell.resolved_config()
+                    )
+                finally:
+                    profile.disable()
+            else:
+                result = GPUSSDPlatform.execute(
+                    cell.platform, trace, cell.resolved_config()
+                )
+        finished = time.perf_counter()
     return result, {
         "trace_build_seconds": trace_done - started,
         "simulate_seconds": finished - trace_done,
@@ -373,6 +391,13 @@ class SweepResult:
     shard_count: Optional[int] = None
     merged_shards: Optional[int] = None
     shard_elapsed_seconds: List[float] = field(default_factory=list)
+    #: Snapshot of the cache backend's counters (``backend.stats()``) taken
+    #: when the sweep finished — surfaces remote-degradation counters that
+    #: were previously counted but invisible.  Empty when caching is off.
+    cache_stats: Dict[str, object] = field(default_factory=dict)
+    #: Runtime notes the CLI wants persisted in the perf report (e.g. the
+    #: ``--profile`` forcing ``--workers 1``).  Appended to ``warnings``.
+    runtime_notes: List[str] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.runs)
@@ -497,14 +522,27 @@ class SweepResult:
             "events_processed": self.events_processed,
             "events_per_sec": self.events_per_sec,
         }
+        warnings: List[str] = []
         if self.cache_hits > 0:
             # Loud and machine-readable: a warm cache means the throughput
             # numbers above measure disk reads, not the simulator hot path.
-            report["warnings"] = [
+            warnings.append(
                 f"cache_hits={self.cache_hits}: cells_per_sec includes "
                 "cache-served cells; rerun with --no-cache (or a cold cache "
                 "dir) for a clean hot-path measurement."
-            ]
+            )
+        if self.cache_stats:
+            report["cache_backend"] = dict(self.cache_stats)
+            remote_errors = int(self.cache_stats.get("remote_errors", 0) or 0)
+            if remote_errors:
+                warnings.append(
+                    f"remote_errors={remote_errors}: the remote result cache "
+                    "degraded to the local layer for some operations; results "
+                    "are correct but were not shared with the fleet."
+                )
+        warnings.extend(self.runtime_notes)
+        if warnings:
+            report["warnings"] = warnings
         if self.shard_count is not None:
             report["shard_index"] = self.shard_index
             report["shard_count"] = self.shard_count
@@ -551,7 +589,34 @@ class SweepRunner:
         in the manifest; ``"record"`` (what the CLI uses for manifest runs)
         lists the cell in ``result.failed`` and keeps sweeping, so one bad
         cell costs one cell, not the whole shard.
+
+        With ``REPRO_TELEMETRY=1`` the whole run is wrapped in a ``sweep``
+        span and summary counters are emitted when it finishes; none of that
+        touches the results themselves.
         """
+        if not _telemetry.enabled():
+            return self._run(spec, manifest_path, on_error)
+        base = spec.spec if isinstance(spec, SweepShard) else spec
+        with _telemetry.span("sweep", {
+            "fingerprint": base.fingerprint(),
+            "workers": self.workers,
+        }):
+            result = self._run(spec, manifest_path, on_error)
+            _telemetry.emit_counters({
+                "sweep.cells": float(len(result.runs)),
+                "sweep.cache_hits": float(result.cache_hits),
+                "sweep.cache_misses": float(result.cache_misses),
+                "sweep.failed_cells": float(len(result.failed)),
+                "sweep.elapsed_seconds": result.elapsed_seconds,
+            }, attrs={"fingerprint": base.fingerprint()})
+        return result
+
+    def _run(
+        self,
+        spec: Union[SweepSpec, SweepShard],
+        manifest_path: Union[os.PathLike, str, None] = None,
+        on_error: str = "raise",
+    ) -> SweepResult:
         if on_error not in ("raise", "record"):
             raise ValueError(f"on_error must be 'raise' or 'record', got {on_error!r}")
         started = time.perf_counter()
@@ -645,6 +710,7 @@ class SweepRunner:
             failed=failed,
             shard_index=shard_index,
             shard_count=shard_count,
+            cache_stats=self.cache.stats() if self.cache is not None else {},
         )
 
     # ------------------------------------------------------------------

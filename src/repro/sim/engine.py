@@ -51,7 +51,7 @@ class Resource:
     """
 
     __slots__ = ("name", "ports", "_free_at", "busy_cycles", "requests_served",
-                 "last_completion")
+                 "last_completion", "wait_cycles")
 
     def __init__(self, name: str, ports: int = 1) -> None:
         if ports < 1:
@@ -65,6 +65,10 @@ class Resource:
         self.busy_cycles: float = 0.0
         self.requests_served: int = 0
         self.last_completion: float = 0.0
+        # Cycles requests spent queued before service started (start - when,
+        # summed).  Pure observation for telemetry/benches — like busy_cycles
+        # it never feeds back into scheduling or results.
+        self.wait_cycles: float = 0.0
 
     def acquire(self, when: float, duration: float) -> float:
         """Book a port; return the start time of service."""
@@ -83,6 +87,7 @@ class Resource:
             completion = start + duration
             heapq.heappush(free_at, completion)
         self.busy_cycles += duration
+        self.wait_cycles += start - when
         self.requests_served += 1
         if completion > self.last_completion:
             self.last_completion = completion
@@ -110,8 +115,10 @@ class Resource:
         starts: List[float] = []
         append = starts.append
         # busy_cycles folds one += per event in order — float addition is not
-        # associative, so no sum() shortcut; same for the max over completions.
+        # associative, so no sum() shortcut; same for the max over completions
+        # and the queueing-wait accumulator.
         busy = self.busy_cycles
+        wait = self.wait_cycles
         last = self.last_completion
         if len(free_at) == 1:
             free = free_at[0]
@@ -121,6 +128,7 @@ class Resource:
                 start = w if w > free else free
                 free = start + d
                 busy = busy + d
+                wait = wait + (start - w)
                 if free > last:
                     last = free
                 append(start)
@@ -135,10 +143,12 @@ class Resource:
                 completion = start + d
                 heappush(free_at, completion)
                 busy = busy + d
+                wait = wait + (start - w)
                 if completion > last:
                     last = completion
                 append(start)
         self.busy_cycles = busy
+        self.wait_cycles = wait
         self.requests_served += len(starts)
         self.last_completion = last
         return starts
@@ -165,6 +175,7 @@ class Resource:
         self.busy_cycles = 0.0
         self.requests_served = 0
         self.last_completion = 0.0
+        self.wait_cycles = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Resource({self.name!r}, ports={self.ports})"
@@ -285,6 +296,10 @@ class ResourcePool:
     @property
     def requests_served(self) -> int:
         return sum(r.requests_served for r in self.resources)
+
+    @property
+    def wait_cycles(self) -> float:
+        return sum(r.wait_cycles for r in self.resources)
 
     @property
     def last_completion(self) -> float:

@@ -1,0 +1,65 @@
+"""Timeline artifacts: canonical spans.csv and the per-worker swimlane HTML."""
+
+from repro.telemetry import configure, reset, span
+from repro.telemetry.timeline import (
+    SPANS_HEADER,
+    collect_events,
+    render_timeline_html,
+    spans_table,
+    write_timeline_artifacts,
+)
+
+
+def _make_events(tmp_path, worker="w1"):
+    configure(enabled=True, sink_dir=tmp_path, worker=worker)
+    with span("sweep", {"fingerprint": "abc"}):
+        with span("cell", {"platform": "ZnG", "workload": "bfs1",
+                           "override": "default"}):
+            with span("simulate"):
+                pass
+    reset()
+
+
+class TestSpansTable:
+    def test_rows_are_deterministic_and_relative(self, tmp_path):
+        _make_events(tmp_path)
+        events = collect_events([tmp_path])
+        header, rows = spans_table(events)
+        assert header == SPANS_HEADER
+        assert len(rows) == 3
+        # start_seconds is relative to the earliest span: min is exactly 0.
+        starts = [row[5] for row in rows]
+        assert min(starts) == 0.0
+        # Two readings of the same log produce identical tables.
+        assert spans_table(collect_events([tmp_path])) == (header, rows)
+
+    def test_empty_log(self):
+        assert spans_table([]) == (SPANS_HEADER, [])
+
+
+class TestTimelineArtifacts:
+    def test_artifacts_live_in_a_subdirectory(self, tmp_path):
+        telemetry = tmp_path / "telemetry"
+        telemetry.mkdir()
+        _make_events(telemetry)
+        out = tmp_path / "report-out"
+        written = write_timeline_artifacts([telemetry], out)
+        assert set(written) == {"telemetry/spans.csv",
+                                "telemetry/timeline.html"}
+        # Inside telemetry/, never next to the golden-gated top-level CSVs.
+        assert written["telemetry/spans.csv"].parent == out / "telemetry"
+        assert list(out.glob("*.csv")) == []
+
+    def test_no_events_writes_nothing(self, tmp_path):
+        out = tmp_path / "report-out"
+        assert write_timeline_artifacts([tmp_path / "missing"], out) == {}
+        assert not out.exists()
+
+    def test_html_has_one_lane_per_worker(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        a.mkdir(), b.mkdir()
+        _make_events(a, worker="host-1")
+        _make_events(b, worker="host-2")
+        html_text = render_timeline_html(collect_events([a, b]))
+        assert "host-1" in html_text and "host-2" in html_text
+        assert "<svg" in html_text and "Span totals" in html_text
